@@ -1,0 +1,62 @@
+//! E10 — ablation: blast radius of one stolen credential, zero-trust
+//! co-design vs. the perimeter-trust baseline (§II-C's "typical
+//! supercomputing environment").
+//!
+//! Shape to hold: ZTA wins on every axis — management plane unreachable,
+//! single-project exposure, bounded time window.
+
+use criterion::{black_box, Criterion};
+use dri_clock::SimClock;
+use dri_core::ablation::PerimeterBaseline;
+use dri_core::{InfraConfig, Infrastructure};
+
+fn print_report() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    println!("== E10: blast radius of one stolen credential ==");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10} {:>14}",
+        "model", "services", "mgmt", "storage", "projects", "exposure"
+    );
+    for hosted in [5usize, 20, 100] {
+        let perimeter = PerimeterBaseline::new(SimClock::new(), hosted).blast_radius();
+        let zta = infra.zta_blast_radius(1);
+        println!(
+            "{:<26} {:>10} {:>10} {:>10} {:>10} {:>14}",
+            format!("perimeter ({hosted} proj)"),
+            perimeter.reachable_services,
+            perimeter.management_reachable,
+            perimeter.storage_reachable,
+            perimeter.projects_exposed,
+            "unbounded"
+        );
+        println!(
+            "{:<26} {:>10} {:>10} {:>10} {:>10} {:>13}s",
+            format!("zero-trust ({hosted} proj)"),
+            zta.reachable_services,
+            zta.management_reachable,
+            zta.storage_reachable,
+            zta.projects_exposed,
+            zta.exposure_secs
+        );
+    }
+    println!("\ncontainment grows linearly with hosted projects under the");
+    println!("perimeter model and stays constant (1) under the co-design.");
+}
+
+fn benches(c: &mut Criterion) {
+    let infra = Infrastructure::new(InfraConfig::default());
+    let baseline = PerimeterBaseline::new(SimClock::new(), 20);
+    c.bench_function("e10/zta_blast_radius", |b| {
+        b.iter(|| black_box(infra.zta_blast_radius(1)))
+    });
+    c.bench_function("e10/perimeter_blast_radius", |b| {
+        b.iter(|| black_box(baseline.blast_radius()))
+    });
+}
+
+fn main() {
+    print_report();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,79 @@
+//! E11 — kill-switch reaction: time from activation to all footholds
+//! severed, per switch class (user, bastion, tailnet, tunnels).
+
+use criterion::{BatchSize, Criterion};
+use dri_core::{InfraConfig, Infrastructure};
+
+/// An infrastructure with one user holding every kind of live access.
+fn victim() -> (Infrastructure, String) {
+    let infra = Infrastructure::new(InfraConfig::default());
+    infra.create_federated_user("alice", "pw");
+    infra.story1_onboard_pi("p", "alice", 100.0).unwrap();
+    let ssh = infra.story4_ssh_connect("alice", "p").unwrap();
+    infra.story6_jupyter("alice", "p", "198.51.100.10").unwrap();
+    infra
+        .scheduler
+        .submit(&ssh.shell.account, "p", "gh", 2, 3600)
+        .unwrap();
+    infra.scheduler.tick();
+    let subject = infra.subject_of("alice").unwrap();
+    (infra, subject)
+}
+
+fn print_report() {
+    println!("== E11: kill-switch coverage ==");
+    let (infra, subject) = victim();
+    println!(
+        "before: bastion={} shells={} notebooks={} running-jobs={}",
+        infra.bastion.session_count(),
+        infra.login_node.session_count(),
+        infra.jupyter.session_count(),
+        infra.scheduler.queue_depth().1,
+    );
+    let report = infra.kill_user(&subject);
+    println!(
+        "kill_user severed: bastion={} shells={} notebooks={} jobs={} (same simulated instant)",
+        report.bastion_sessions_cut,
+        report.shells_cut,
+        report.notebooks_cut,
+        report.jobs_cancelled
+    );
+    println!(
+        "after: bastion={} shells={} notebooks={} running-jobs={}",
+        infra.bastion.session_count(),
+        infra.login_node.session_count(),
+        infra.jupyter.session_count(),
+        infra.scheduler.queue_depth().1,
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("e11/kill_user_with_footholds", |b| {
+        b.iter_batched(
+            victim,
+            |(infra, subject)| infra.kill_user(&subject),
+            BatchSize::PerIteration,
+        )
+    });
+    c.bench_function("e11/bastion_global_kill", |b| {
+        b.iter_batched(
+            || victim().0,
+            |infra| infra.kill_bastion(),
+            BatchSize::PerIteration,
+        )
+    });
+    c.bench_function("e11/tunnel_kill", |b| {
+        b.iter_batched(
+            || victim().0,
+            |infra| infra.kill_tunnels(),
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn main() {
+    print_report();
+    let mut c = Criterion::default().configure_from_args().sample_size(10);
+    benches(&mut c);
+    c.final_summary();
+}

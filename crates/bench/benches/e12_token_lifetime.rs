@@ -1,0 +1,104 @@
+//! E12 — the short-lived-credential trade-off behind design principle 1.
+//!
+//! Sweeps token/certificate lifetimes: re-authentication burden falls as
+//! TTL grows while stolen-credential exposure grows linearly. The
+//! combined-cost knee lands in the minutes-to-hours region the paper
+//! chose. Also measures the *system* consequence: how many broker tokens
+//! a working day costs at each TTL.
+
+use criterion::{black_box, Criterion};
+use dri_core::{InfraConfig, Infrastructure};
+use dri_workload::{best_lifetime, sweep_lifetimes};
+
+const WORK_DAY_SECS: u64 = 8 * 3600;
+
+fn print_report() {
+    println!("== E12: credential lifetime sweep ==");
+    let ttls: Vec<u64> = vec![
+        60,
+        300,
+        900,
+        3600,
+        4 * 3600,
+        8 * 3600,
+        24 * 3600,
+        7 * 24 * 3600,
+        30 * 24 * 3600,
+    ];
+    let points = sweep_lifetimes(&ttls, WORK_DAY_SECS, 2.0);
+    println!(
+        "{:>12} {:>12} {:>16} {:>16} {:>12}",
+        "ttl", "reauths/day", "mean-expo(h)", "worst-expo(h)", "cost"
+    );
+    for p in &points {
+        println!(
+            "{:>12} {:>12} {:>16.2} {:>16.2} {:>12.1}",
+            format_ttl(p.ttl_secs),
+            p.reauths_per_day,
+            p.mean_exposure_secs / 3600.0,
+            p.worst_exposure_secs as f64 / 3600.0,
+            p.combined_cost
+        );
+    }
+    let best = best_lifetime(&points).unwrap();
+    println!(
+        "\nknee of the curve: {} — within the minutes-to-hours band the paper deploys",
+        format_ttl(best.ttl_secs)
+    );
+
+    // System consequence: tokens minted per user-day at two TTLs.
+    for ttl in [900u64, 8 * 3600] {
+        let mut cfg = InfraConfig::default();
+        cfg.ssh_token_ttl_secs = ttl;
+        cfg.cert_ttl_secs = ttl.max(3600);
+        let infra = Infrastructure::new(cfg);
+        infra.create_federated_user("alice", "pw");
+        infra.story1_onboard_pi("p", "alice", 100.0).unwrap();
+        let reauths = WORK_DAY_SECS.div_ceil(ttl).min(16); // cap the demo
+        for _ in 0..reauths {
+            let _ = infra.token_for("alice", "ssh-ca", vec![]);
+            infra.clock.advance_secs(ttl.min(3600));
+        }
+        println!(
+            "ttl {:>8}: {} broker tokens for one simulated user-day",
+            format_ttl(ttl),
+            infra.broker.tokens_issued()
+        );
+    }
+}
+
+fn format_ttl(secs: u64) -> String {
+    if secs % (24 * 3600) == 0 && secs >= 24 * 3600 {
+        format!("{}d", secs / (24 * 3600))
+    } else if secs % 3600 == 0 && secs >= 3600 {
+        format!("{}h", secs / 3600)
+    } else if secs % 60 == 0 {
+        format!("{}m", secs / 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let ttls: Vec<u64> = (1..=96).map(|i| i as u64 * 900).collect();
+    c.bench_function("e12/sweep_96_lifetimes", |b| {
+        b.iter(|| black_box(sweep_lifetimes(&ttls, WORK_DAY_SECS, 2.0)))
+    });
+    c.bench_function("e12/token_issue_and_validate", |b| {
+        let infra = Infrastructure::new(InfraConfig::default());
+        infra.create_federated_user("alice", "pw");
+        infra.story1_onboard_pi("p", "alice", 100.0).unwrap();
+        let jwks = infra.broker.jwks();
+        b.iter(|| {
+            let (token, _) = infra.token_for("alice", "ssh-ca", vec![]).unwrap();
+            jwks.validate(&token, "ssh-ca", infra.clock.now_secs()).unwrap()
+        })
+    });
+}
+
+fn main() {
+    print_report();
+    let mut c = Criterion::default().configure_from_args().sample_size(20);
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,120 @@
+//! E14 — the crypto substrate: primitive throughput and parallel scaling.
+//!
+//! §V: "Encryption is applied for all IAM workflows." Every credential in
+//! the co-design is really signed and verified, so primitive cost bounds
+//! the control plane's capacity. Parallel scaling uses crossbeam scoped
+//! threads (per the HPC-parallel guides, results are merged per-thread —
+//! no shared mutable state).
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use dri_crypto::ed25519::SigningKey;
+use dri_crypto::jwt::{self, Claims, Signer, Validation, Verifier};
+use dri_crypto::{chacha20, hmac, sha2, x25519};
+
+fn print_report() {
+    println!("== E14: crypto substrate (all RFC-test-vector verified) ==");
+    println!("primitives: SHA-256/512, HMAC, HKDF, Ed25519, X25519, ChaCha20, JWT");
+
+    // Parallel signing scaling demo.
+    let sk = SigningKey::from_seed(&[7u8; 32]);
+    let msgs: Vec<Vec<u8>> = (0..512u32).map(|i| i.to_le_bytes().to_vec()).collect();
+    println!("\nparallel Ed25519 signing of 512 messages:");
+    println!("{:>8} {:>12} {:>10}", "threads", "wall(ms)", "speedup");
+    let mut base_ms = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let start = std::time::Instant::now();
+        let chunk = msgs.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for part in msgs.chunks(chunk) {
+                let sk = &sk;
+                scope.spawn(move |_| {
+                    for m in part {
+                        black_box(sk.sign(m));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if threads == 1 {
+            base_ms = ms;
+        }
+        println!("{:>8} {:>12.1} {:>9.1}x", threads, ms, base_ms / ms);
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    // Hashing throughput.
+    let mut group = c.benchmark_group("e14/sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| black_box(sha2::sha256(d)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e14/sha512");
+    for size in [64usize, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| black_box(sha2::sha512(d)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("e14/hmac_sha256_1k", |b| {
+        let data = vec![1u8; 1024];
+        b.iter(|| black_box(hmac::hmac_sha256(b"key", &data)))
+    });
+
+    // Signatures.
+    let sk = SigningKey::from_seed(&[1u8; 32]);
+    let pk = sk.verifying_key();
+    let msg = b"a short RBAC token body for signing benchmarks";
+    let sig = sk.sign(msg);
+    c.bench_function("e14/ed25519_sign", |b| b.iter(|| black_box(sk.sign(msg))));
+    c.bench_function("e14/ed25519_verify", |b| {
+        b.iter(|| assert!(pk.verify(msg, &sig)))
+    });
+
+    // Key agreement.
+    let alice = x25519::clamp([5u8; 32]);
+    let bob_pub = x25519::public_key(&x25519::clamp([6u8; 32]));
+    c.bench_function("e14/x25519_shared_secret", |b| {
+        b.iter(|| black_box(x25519::shared_secret(&alice, &bob_pub)))
+    });
+
+    // Stream cipher.
+    let mut group = c.benchmark_group("e14/chacha20");
+    for size in [1024usize, 64 * 1024] {
+        let data = vec![9u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| black_box(chacha20::encrypt(&[7u8; 32], &[0u8; 12], 0, d)))
+        });
+    }
+    group.finish();
+
+    // JWT end-to-end.
+    let mut claims = Claims::new("iss", "sub", "aud", 1000, 900);
+    claims.roles = vec!["researcher".into()];
+    claims.token_id = "jti-1".into();
+    let token = jwt::sign(&claims, &Signer::Ed25519(&sk), "kid-1");
+    c.bench_function("e14/jwt_sign_eddsa", |b| {
+        b.iter(|| black_box(jwt::sign(&claims, &Signer::Ed25519(&sk), "kid-1")))
+    });
+    c.bench_function("e14/jwt_verify_eddsa", |b| {
+        let validation = Validation { now: 1100, ..Default::default() };
+        b.iter(|| jwt::verify(&token, &Verifier::Ed25519(&pk), &validation).unwrap())
+    });
+}
+
+fn main() {
+    print_report();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

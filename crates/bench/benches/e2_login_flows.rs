@@ -1,0 +1,113 @@
+//! E2 — Fig. 2's login page, measured: discovery plus one full login per
+//! identity-provider class, with the per-flow step/token accounting the
+//! paper's workflow description implies.
+
+use criterion::{BatchSize, Criterion};
+use dri_core::{InfraConfig, Infrastructure};
+
+fn print_report() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    println!("== E2: login flows per IdP class (Fig. 2) ==");
+    let discovery = infra.proxy.discovery_list();
+    println!(
+        "discovery list: {} R&S-compliant IdP(s): {:?}",
+        discovery.len(),
+        discovery.iter().map(|d| d.display_name.as_str()).collect::<Vec<_>>()
+    );
+
+    // Federated (needs a grant first — authorisation-led).
+    infra.create_federated_user("alice", "pw");
+    infra.story1_onboard_pi("p", "alice", 1.0).expect("onboard");
+    let tokens_before = infra.broker.tokens_issued();
+    let session = infra.federated_login("alice").expect("federated");
+    println!(
+        "federated   : acr={:<9} loa={:?} protocol legs: idp->proxy->broker (3 signed artefacts)",
+        session.acr, session.loa
+    );
+
+    // Last resort.
+    infra.create_last_resort_user("vendor", "pw");
+    let now = infra.clock.now_secs();
+    let (_, inv) = infra
+        .portal
+        .create_project(
+            "admin:ops",
+            "vendor-project",
+            dri_portal::Allocation::gpu(1.0),
+            now,
+            now + 100_000,
+            "vendor@company",
+        )
+        .expect("project");
+    infra
+        .portal
+        .accept_invitation(&inv.token, "last-resort:vendor", true)
+        .expect("accept");
+    let session = infra.last_resort_login("vendor").expect("last-resort");
+    println!(
+        "last-resort : acr={:<9} loa={:?} protocol legs: managed-idp->broker (password+totp)",
+        session.acr, session.loa
+    );
+
+    // Admin.
+    let admin = infra.story2_register_admin("dave").expect("admin");
+    let session = infra.broker.session(&admin.session_id).expect("session");
+    println!(
+        "admin       : acr={:<9} loa={:?} protocol legs: hw-challenge->managed-idp->broker",
+        session.acr, session.loa
+    );
+    println!(
+        "tokens minted during report: {}",
+        infra.broker.tokens_issued() - tokens_before
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    // Federated login, re-run on a prepared infra (session per iteration).
+    c.bench_function("e2/federated_login", |b| {
+        let infra = Infrastructure::new(InfraConfig::default());
+        infra.create_federated_user("alice", "pw");
+        infra.story1_onboard_pi("p", "alice", 1.0).unwrap();
+        b.iter(|| infra.federated_login("alice").unwrap())
+    });
+
+    c.bench_function("e2/last_resort_login", |b| {
+        let infra = Infrastructure::new(InfraConfig::default());
+        infra.create_last_resort_user("vendor", "pw");
+        let now = infra.clock.now_secs();
+        let (_, inv) = infra
+            .portal
+            .create_project("admin:ops", "vp", dri_portal::Allocation::gpu(1.0), now, now + 100_000, "v@c")
+            .unwrap();
+        infra
+            .portal
+            .accept_invitation(&inv.token, "last-resort:vendor", true)
+            .unwrap();
+        b.iter(|| infra.last_resort_login("vendor").unwrap())
+    });
+
+    c.bench_function("e2/admin_login_hw_ceremony", |b| {
+        let infra = Infrastructure::new(InfraConfig::default());
+        infra.story2_register_admin("dave").unwrap();
+        b.iter(|| infra.admin_login("dave").unwrap())
+    });
+
+    c.bench_function("e2/full_onboarding_story1", |b| {
+        b.iter_batched(
+            || {
+                let infra = Infrastructure::new(InfraConfig::default());
+                infra.create_federated_user("alice", "pw");
+                infra
+            },
+            |infra| infra.story1_onboard_pi("p", "alice", 1.0).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn main() {
+    print_report();
+    let mut c = Criterion::default().configure_from_args().sample_size(20);
+    benches(&mut c);
+    c.final_summary();
+}

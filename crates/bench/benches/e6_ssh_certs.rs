@@ -1,0 +1,70 @@
+//! E6 — user story 4: SSH certificate issuance and the full connect path.
+
+use criterion::{black_box, Criterion};
+use dri_core::{InfraConfig, Infrastructure};
+
+fn print_report() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    infra.create_federated_user("alice", "pw");
+    infra.story1_onboard_pi("p", "alice", 1.0).expect("onboard");
+    let outcome = infra.story4_ssh_connect("alice", "p").expect("ssh");
+    println!("== E6: SSH story (user story 4) ==");
+    println!("protocol steps per connect:");
+    for s in &outcome.trace {
+        println!("  - {s}");
+    }
+    println!(
+        "cert ttl {}s; principal {}; bastion instance {} of {}",
+        infra.config.cert_ttl_secs,
+        outcome.shell.account,
+        outcome.relay.instance,
+        infra.config.bastion_instances
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    // The full story (device flow + CA + bastion + login node).
+    c.bench_function("e6/story4_full_connect", |b| {
+        let infra = Infrastructure::new(InfraConfig::default());
+        infra.create_federated_user("alice", "pw");
+        infra.story1_onboard_pi("p", "alice", 1.0).unwrap();
+        b.iter(|| infra.story4_ssh_connect("alice", "p").unwrap())
+    });
+
+    // CA signing alone.
+    c.bench_function("e6/ca_sign_request", |b| {
+        let infra = Infrastructure::new(InfraConfig::default());
+        infra.create_federated_user("alice", "pw");
+        infra.story1_onboard_pi("p", "alice", 1.0).unwrap();
+        let (token, _) = infra.token_for("alice", "ssh-ca", vec![]).unwrap();
+        b.iter(|| infra.ssh_ca.sign_request(black_box(&token), [5u8; 32]).unwrap())
+    });
+
+    // Login-node verification alone (cert + possession proof).
+    c.bench_function("e6/login_node_open_session", |b| {
+        let infra = Infrastructure::new(InfraConfig::default());
+        infra.create_federated_user("alice", "pw");
+        infra.story1_onboard_pi("p", "alice", 1.0).unwrap();
+        infra.story4_ssh_connect("alice", "p").unwrap();
+        let users = infra.users.read();
+        let client = users.get("alice").unwrap().ssh.as_ref().unwrap();
+        let cert = client.certificate.clone().unwrap();
+        let account = cert.principals[0].clone();
+        drop(users);
+        b.iter(|| {
+            let users = infra.users.read();
+            let client = users.get("alice").unwrap().ssh.as_ref().unwrap();
+            infra
+                .login_node
+                .open_session(&cert, &account, |ch| client.sign_auth_challenge(ch))
+                .unwrap()
+        })
+    });
+}
+
+fn main() {
+    print_report();
+    let mut c = Criterion::default().configure_from_args().sample_size(20);
+    benches(&mut c);
+    c.final_summary();
+}

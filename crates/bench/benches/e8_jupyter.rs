@@ -1,0 +1,77 @@
+//! E8 — user story 6: the web path (edge -> tunnel -> authenticator ->
+//! spawner), plus the unauthenticated rejection fast-path.
+
+use criterion::Criterion;
+use dri_core::{InfraConfig, Infrastructure};
+use dri_netsim::HttpRequest;
+
+fn print_report() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    infra.create_federated_user("alice", "pw");
+    infra.story1_onboard_pi("p", "alice", 1.0).expect("onboard");
+    let outcome = infra
+        .story6_jupyter("alice", "p", "198.51.100.99")
+        .expect("jupyter");
+    println!("== E8: Jupyter story (user story 6) ==");
+    for s in &outcome.trace {
+        println!("  - {s}");
+    }
+    println!(
+        "notebook {} runs as {} on partition interactive (job {})",
+        outcome.notebook.id, outcome.notebook.unix_account, outcome.notebook.job_id
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("e8/story6_full_path", |b| {
+        let mut cfg = InfraConfig::default();
+        cfg.jupyter_capacity = usize::MAX / 2;
+        cfg.interactive_nodes = u32::MAX / 2;
+        cfg.edge_threshold = usize::MAX / 2;
+        let infra = Infrastructure::new(cfg);
+        infra.create_federated_user("alice", "pw");
+        infra.story1_onboard_pi("p", "alice", 1.0).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // Unique source per iter keeps the DDoS scorer out of the way.
+            infra
+                .story6_jupyter("alice", "p", &format!("198.51.{}.{}", i / 200, i % 200 + 1))
+                .unwrap()
+        })
+    });
+
+    c.bench_function("e8/unauthenticated_401", |b| {
+        let mut cfg = InfraConfig::default();
+        cfg.edge_threshold = usize::MAX / 2;
+        let infra = Infrastructure::new(cfg);
+        b.iter(|| {
+            let r = infra
+                .edge
+                .handle(
+                    &infra.tunnel,
+                    "203.0.113.77",
+                    HttpRequest { path: "/jupyter".into(), headers: vec![], body: vec![] },
+                )
+                .unwrap();
+            assert_eq!(r.status, 401);
+        })
+    });
+
+    c.bench_function("e8/token_validation_only", |b| {
+        let infra = Infrastructure::new(InfraConfig::default());
+        infra.create_federated_user("alice", "pw");
+        infra.story1_onboard_pi("p", "alice", 1.0).unwrap();
+        let (token, _) = infra.token_for("alice", "jupyter", vec![]).unwrap();
+        let jwks = infra.broker.jwks();
+        let now = infra.clock.now_secs();
+        b.iter(|| jwks.validate(&token, "jupyter", now).unwrap())
+    });
+}
+
+fn main() {
+    print_report();
+    let mut c = Criterion::default().configure_from_args().sample_size(20);
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,100 @@
+//! E9 — the RSECon24 scale claim: 45 concurrent trainees, then a sweep.
+//!
+//! Paper: "45 trainees logging in and running notebooks simultaneously"
+//! with positive feedback on the cloud-like flow. We reproduce the run
+//! at N=45 (serial + parallel), sweep N, and report throughput + tail
+//! latency. Shape to hold: zero authorisation failures at 45, sub-linear
+//! tail growth with N.
+
+use criterion::{BatchSize, BenchmarkId, Criterion, Throughput};
+use dri_core::{InfraConfig, Infrastructure};
+use dri_workload::{build_population, run_storm, StormMode};
+
+fn storm_users(infra: &Infrastructure, n: usize) -> Vec<(String, String)> {
+    let projects = n.div_ceil(8);
+    let pop = build_population(infra, projects, 7).expect("population");
+    pop.projects
+        .iter()
+        .flat_map(|p| {
+            std::iter::once((p.pi_label.clone(), p.name.clone())).chain(
+                p.researcher_labels.iter().map(|r| (r.clone(), p.name.clone())),
+            )
+        })
+        .take(n)
+        .collect()
+}
+
+fn big_config() -> InfraConfig {
+    let mut cfg = InfraConfig::default();
+    cfg.jupyter_capacity = 4096;
+    cfg.interactive_nodes = 4096;
+    cfg.edge_threshold = usize::MAX / 2;
+    cfg
+}
+
+fn print_report() {
+    println!("== E9: RSECon24 storm (45 concurrent) + sweep ==");
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>10} {:>12}",
+        "users", "ok", "steps", "p50(µs)", "p99(µs)", "flows/s"
+    );
+    for n in [8usize, 16, 32, 45, 64, 128, 256, 512] {
+        let infra = Infrastructure::new(big_config());
+        let users = storm_users(&infra, n);
+        let result = run_storm(&infra, &users, StormMode::Parallel(8));
+        println!(
+            "{:>6} {:>6} {:>10} {:>10} {:>10} {:>12.0}",
+            n,
+            result.completed,
+            result.steps_per_flow,
+            result.latency_quantile(0.50),
+            result.latency_quantile(0.99),
+            result.throughput()
+        );
+        assert_eq!(result.completed, n, "failures: {:?}", result.failures);
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9");
+    group.sample_size(10);
+    for n in [45usize, 128] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("storm_parallel", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let infra = Infrastructure::new(big_config());
+                    let users = storm_users(&infra, n);
+                    (infra, users)
+                },
+                |(infra, users)| {
+                    let r = run_storm(&infra, &users, StormMode::Parallel(8));
+                    assert_eq!(r.completed, n);
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("storm_serial", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let infra = Infrastructure::new(big_config());
+                    let users = storm_users(&infra, n);
+                    (infra, users)
+                },
+                |(infra, users)| {
+                    let r = run_storm(&infra, &users, StormMode::Serial);
+                    assert_eq!(r.completed, n);
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_report();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,870 @@
+//! The identity broker: sessions, per-service token policies, JWKS with
+//! rotation, and revocation.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use dri_clock::{IdGen, SimClock};
+use dri_crypto::ed25519::{SigningKey, VerifyingKey};
+use dri_crypto::json::Value;
+use dri_crypto::jwt::{self, Claims, Signer, Validation, Verifier};
+use dri_federation::assertion::{Assertion, AssertionError};
+use dri_federation::metadata::{EntityKind, FederationRegistry};
+use dri_federation::types::LevelOfAssurance;
+use parking_lot::RwLock;
+
+use crate::authz::AuthorizationSource;
+use crate::managed_idp::ManagedLogin;
+
+/// Where a session's identity came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdentitySource {
+    /// MyAccessID-style federated login.
+    Federated,
+    /// The managed Identity Provider of Last Resort.
+    LastResort,
+    /// The dedicated administrator IdP (hardware-key MFA).
+    AdminIdp,
+}
+
+/// Per-service (per-audience) token issuance policy.
+#[derive(Debug, Clone)]
+pub struct TokenPolicy {
+    /// Audience string services validate against (e.g. `ssh-ca`).
+    pub audience: String,
+    /// Token lifetime in seconds — "short-lived" is the paper's design
+    /// principle #1; typical values are minutes to a few hours.
+    pub ttl_secs: u64,
+    /// Minimum identity assurance required.
+    pub min_loa: LevelOfAssurance,
+    /// Required authentication context, if any (e.g. `mfa-hw`).
+    pub required_acr: Option<String>,
+    /// Restrict to sessions from the administrator IdP.
+    pub admin_only: bool,
+}
+
+impl TokenPolicy {
+    /// A relaxed policy for ordinary research services.
+    pub fn standard(audience: impl Into<String>, ttl_secs: u64) -> TokenPolicy {
+        TokenPolicy {
+            audience: audience.into(),
+            ttl_secs,
+            min_loa: LevelOfAssurance::Medium,
+            required_acr: None,
+            admin_only: false,
+        }
+    }
+
+    /// The locked-down policy management-plane services use.
+    pub fn admin(audience: impl Into<String>, ttl_secs: u64) -> TokenPolicy {
+        TokenPolicy {
+            audience: audience.into(),
+            ttl_secs,
+            min_loa: LevelOfAssurance::High,
+            required_acr: Some("mfa-hw".to_string()),
+            admin_only: true,
+        }
+    }
+}
+
+/// A broker session (the result of an interactive login).
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Opaque session id.
+    pub session_id: String,
+    /// Subject (cuid for federated users, `admin:name` / `last-resort:name`
+    /// for managed identities).
+    pub subject: String,
+    /// Authentication context achieved at login.
+    pub acr: String,
+    /// Identity source.
+    pub source: IdentitySource,
+    /// Assurance level.
+    pub loa: LevelOfAssurance,
+    /// Establishment time (seconds).
+    pub established_at: u64,
+    /// Hard expiry (seconds) — re-authentication required after this.
+    pub expires_at: u64,
+}
+
+/// Broker failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The upstream proxy is not registered in federation metadata.
+    UnknownProxy(String),
+    /// Upstream assertion invalid.
+    BadAssertion(AssertionError),
+    /// Authorisation-led registration: the subject holds no grants.
+    NotAuthorized,
+    /// No such session, or session revoked.
+    InvalidSession,
+    /// Session past its hard expiry — interactive re-auth required.
+    SessionExpired,
+    /// The audience has no registered token policy.
+    UnknownService(String),
+    /// The subject has no roles on this audience.
+    NoRolesForAudience,
+    /// Session assurance below the audience's minimum.
+    InsufficientLoa,
+    /// Session ACR does not satisfy the audience's requirement.
+    AcrMismatch,
+    /// Audience is admin-only and the session is not from the admin IdP.
+    AdminOnly,
+    /// Subject has been revoked by incident response.
+    SubjectRevoked,
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::UnknownProxy(x) => write!(f, "unknown upstream proxy {x}"),
+            BrokerError::BadAssertion(e) => write!(f, "bad upstream assertion: {e}"),
+            BrokerError::NotAuthorized => write!(f, "subject holds no authorisation"),
+            BrokerError::InvalidSession => write!(f, "invalid or revoked session"),
+            BrokerError::SessionExpired => write!(f, "session expired; re-authenticate"),
+            BrokerError::UnknownService(x) => write!(f, "no token policy for audience {x}"),
+            BrokerError::NoRolesForAudience => write!(f, "no roles for audience"),
+            BrokerError::InsufficientLoa => write!(f, "assurance below audience minimum"),
+            BrokerError::AcrMismatch => write!(f, "authentication context insufficient"),
+            BrokerError::AdminOnly => write!(f, "audience restricted to admin identities"),
+            BrokerError::SubjectRevoked => write!(f, "subject revoked"),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+/// A snapshot of the broker's public keys, distributed to relying
+/// services so they can validate tokens locally (OIDC JWKS document).
+#[derive(Debug, Clone)]
+pub struct Jwks {
+    /// Issuer the keys belong to.
+    pub issuer: String,
+    keys: HashMap<String, VerifyingKey>,
+}
+
+impl Jwks {
+    /// Validate a token against this key set for `audience` at `now`.
+    pub fn validate(
+        &self,
+        token: &str,
+        audience: &str,
+        now_secs: u64,
+    ) -> Result<Claims, jwt::JwtError> {
+        let kid = jwt::peek_kid(token).ok_or(jwt::JwtError::Malformed)?;
+        let key = self.keys.get(&kid).ok_or(jwt::JwtError::BadSignature)?;
+        jwt::verify(
+            token,
+            &Verifier::Ed25519(key),
+            &Validation {
+                issuer: self.issuer.clone(),
+                audience: audience.to_string(),
+                now: now_secs,
+                leeway: 0,
+            },
+        )
+    }
+
+    /// Number of published keys.
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+struct BrokerState {
+    signing_keys: Vec<(String, SigningKey)>, // last entry is active
+    sessions: HashMap<String, SessionInfo>,
+    policies: HashMap<String, TokenPolicy>,
+    revoked_tokens: HashSet<String>,
+    revoked_subjects: HashSet<String>,
+    active_tokens: HashMap<String, (String, u64)>, // jti -> (subject, exp)
+    tokens_issued: u64,
+}
+
+/// The Front Door identity broker.
+pub struct IdentityBroker {
+    /// Issuer URL baked into every token.
+    pub issuer: String,
+    clock: SimClock,
+    registry: Arc<FederationRegistry>,
+    authz: Arc<dyn AuthorizationSource>,
+    state: RwLock<BrokerState>,
+    session_ttl_secs: u64,
+    session_ids: IdGen,
+    jti_ids: IdGen,
+    key_ids: IdGen,
+}
+
+impl IdentityBroker {
+    /// Create a broker with an initial signing key derived from `seed`.
+    pub fn new(
+        issuer: impl Into<String>,
+        seed: [u8; 32],
+        session_ttl_secs: u64,
+        clock: SimClock,
+        registry: Arc<FederationRegistry>,
+        authz: Arc<dyn AuthorizationSource>,
+    ) -> IdentityBroker {
+        let key_ids = IdGen::new("fds-key");
+        let kid = key_ids.next();
+        IdentityBroker {
+            issuer: issuer.into(),
+            clock,
+            registry,
+            authz,
+            state: RwLock::new(BrokerState {
+                signing_keys: vec![(kid, SigningKey::from_seed(&seed))],
+                sessions: HashMap::new(),
+                policies: HashMap::new(),
+                revoked_tokens: HashSet::new(),
+                revoked_subjects: HashSet::new(),
+                active_tokens: HashMap::new(),
+                tokens_issued: 0,
+            }),
+            session_ttl_secs,
+            session_ids: IdGen::new("sess"),
+            jti_ids: IdGen::new("jti"),
+            key_ids,
+        }
+    }
+
+    /// Register (or replace) a per-audience token policy.
+    pub fn register_service(&self, policy: TokenPolicy) {
+        self.state.write().policies.insert(policy.audience.clone(), policy);
+    }
+
+    /// Current JWKS snapshot for distribution to relying services.
+    pub fn jwks(&self) -> Jwks {
+        let state = self.state.read();
+        Jwks {
+            issuer: self.issuer.clone(),
+            keys: state
+                .signing_keys
+                .iter()
+                .map(|(kid, sk)| (kid.clone(), sk.verifying_key()))
+                .collect(),
+        }
+    }
+
+    /// Rotate the signing key. Old keys stay published for validation of
+    /// in-flight tokens until pruned.
+    pub fn rotate_keys(&self, seed: [u8; 32]) -> String {
+        let kid = self.key_ids.next();
+        self.state
+            .write()
+            .signing_keys
+            .push((kid.clone(), SigningKey::from_seed(&seed)));
+        kid
+    }
+
+    /// Drop all but the newest `keep` signing keys.
+    pub fn prune_keys(&self, keep: usize) {
+        let mut state = self.state.write();
+        let len = state.signing_keys.len();
+        if len > keep {
+            state.signing_keys.drain(..len - keep);
+        }
+    }
+
+    /// Establish a session from a federated (proxy) assertion. This is
+    /// where *authorisation leads authentication*: an unknown subject is
+    /// refused even with a perfectly valid assertion.
+    pub fn login_federated(
+        &self,
+        proxy_entity_id: &str,
+        assertion_wire: &str,
+    ) -> Result<SessionInfo, BrokerError> {
+        let proxy = self
+            .registry
+            .lookup(proxy_entity_id)
+            .filter(|e| e.kind == EntityKind::Proxy)
+            .ok_or_else(|| BrokerError::UnknownProxy(proxy_entity_id.to_string()))?;
+        let now = self.clock.now_secs();
+        let assertion =
+            Assertion::verify(assertion_wire, &proxy.signing_key, &self.issuer, now)
+                .map_err(BrokerError::BadAssertion)?;
+        self.establish(
+            assertion.subject.clone(),
+            assertion.authn_context.clone(),
+            IdentitySource::Federated,
+            assertion.loa,
+        )
+    }
+
+    /// Establish a session from a managed-IdP login.
+    pub fn login_managed(
+        &self,
+        login: &ManagedLogin,
+        source: IdentitySource,
+    ) -> Result<SessionInfo, BrokerError> {
+        // Managed identities are vetted by a human (admin IdP) or invited
+        // (last resort); both assert High through controlled registration.
+        self.establish(
+            login.subject.clone(),
+            login.acr.clone(),
+            source,
+            LevelOfAssurance::High,
+        )
+    }
+
+    fn establish(
+        &self,
+        subject: String,
+        acr: String,
+        source: IdentitySource,
+        loa: LevelOfAssurance,
+    ) -> Result<SessionInfo, BrokerError> {
+        if self.state.read().revoked_subjects.contains(&subject) {
+            return Err(BrokerError::SubjectRevoked);
+        }
+        if !self.authz.is_authorized_subject(&subject) {
+            return Err(BrokerError::NotAuthorized);
+        }
+        let now = self.clock.now_secs();
+        let session = SessionInfo {
+            session_id: self.session_ids.next(),
+            subject,
+            acr,
+            source,
+            loa,
+            established_at: now,
+            expires_at: now + self.session_ttl_secs,
+        };
+        self.state
+            .write()
+            .sessions
+            .insert(session.session_id.clone(), session.clone());
+        Ok(session)
+    }
+
+    /// Issue a short-lived RBAC token for `audience` from an established
+    /// session. Fails closed on every policy dimension.
+    pub fn issue_token(
+        &self,
+        session_id: &str,
+        audience: &str,
+    ) -> Result<(String, Claims), BrokerError> {
+        self.issue_token_with_extra(session_id, audience, Vec::new())
+    }
+
+    /// Like [`IdentityBroker::issue_token`] but attaching extra claims
+    /// (e.g. the project-scoped UNIX accounts for the SSH CA).
+    pub fn issue_token_with_extra(
+        &self,
+        session_id: &str,
+        audience: &str,
+        extra: Vec<(String, Value)>,
+    ) -> Result<(String, Claims), BrokerError> {
+        let now = self.clock.now_secs();
+        let (session, policy) = {
+            let state = self.state.read();
+            let session = state
+                .sessions
+                .get(session_id)
+                .cloned()
+                .ok_or(BrokerError::InvalidSession)?;
+            let policy = state
+                .policies
+                .get(audience)
+                .cloned()
+                .ok_or_else(|| BrokerError::UnknownService(audience.to_string()))?;
+            (session, policy)
+        };
+        if now >= session.expires_at {
+            return Err(BrokerError::SessionExpired);
+        }
+        if self.state.read().revoked_subjects.contains(&session.subject) {
+            return Err(BrokerError::SubjectRevoked);
+        }
+        if session.loa < policy.min_loa {
+            return Err(BrokerError::InsufficientLoa);
+        }
+        if let Some(required) = &policy.required_acr {
+            if &session.acr != required {
+                return Err(BrokerError::AcrMismatch);
+            }
+        }
+        if policy.admin_only && session.source != IdentitySource::AdminIdp {
+            return Err(BrokerError::AdminOnly);
+        }
+        let roles = self.authz.roles_for(&session.subject, audience);
+        if roles.is_empty() {
+            return Err(BrokerError::NoRolesForAudience);
+        }
+
+        let mut claims = Claims::new(
+            self.issuer.clone(),
+            session.subject.clone(),
+            audience,
+            now,
+            policy.ttl_secs,
+        );
+        claims.token_id = self.jti_ids.next();
+        claims.session_id = session.session_id.clone();
+        claims.acr = session.acr.clone();
+        claims.roles = roles;
+        claims.extra = extra;
+
+        let token = {
+            let mut state = self.state.write();
+            state.tokens_issued += 1;
+            state.active_tokens.insert(
+                claims.token_id.clone(),
+                (session.subject.clone(), claims.expires_at),
+            );
+            let (kid, key) = state.signing_keys.last().expect("at least one key");
+            jwt::sign(&claims, &Signer::Ed25519(key), kid)
+        };
+        Ok((token, claims))
+    }
+
+    /// RFC 8693-style token exchange: a service holding a user's token
+    /// for *its own* audience obtains a derived, narrower token for a
+    /// downstream audience (e.g. Jupyter exchanging the user's `jupyter`
+    /// token for a `slurm` token to submit the kernel job).
+    ///
+    /// The derived token:
+    /// * carries the same subject and session binding;
+    /// * names the exchanging service in an `act` (actor) claim;
+    /// * expires no later than the subject token;
+    /// * is still gated on the subject's roles for the target audience
+    ///   and the target's policy (LoA / ACR / admin gates).
+    pub fn exchange_token(
+        &self,
+        subject_token: &str,
+        requesting_audience: &str,
+        target_audience: &str,
+    ) -> Result<(String, Claims), BrokerError> {
+        let now = self.clock.now_secs();
+        let claims = self
+            .jwks()
+            .validate(subject_token, requesting_audience, now)
+            .map_err(|_| BrokerError::InvalidSession)?;
+        if !self.introspect(&claims.token_id) {
+            return Err(BrokerError::InvalidSession);
+        }
+        // Re-run full policy for the target audience off the same session.
+        let (token, mut derived) =
+            self.issue_token(&claims.session_id, target_audience)?;
+        // Cap the derived expiry at the subject token's and stamp the actor.
+        if derived.expires_at > claims.expires_at {
+            derived.expires_at = claims.expires_at;
+            derived
+                .extra
+                .push(("act".to_string(), Value::s(requesting_audience)));
+            // Re-sign with the corrected expiry.
+            let mut state = self.state.write();
+            let (kid, key) = state.signing_keys.last().expect("key");
+            let token = jwt::sign(&derived, &Signer::Ed25519(key), kid);
+            state
+                .active_tokens
+                .insert(derived.token_id.clone(), (derived.subject.clone(), derived.expires_at));
+            return Ok((token, derived));
+        }
+        derived
+            .extra
+            .push(("act".to_string(), Value::s(requesting_audience)));
+        let state = self.state.read();
+        let (kid, key) = state.signing_keys.last().expect("key");
+        let token = jwt::sign(&derived, &Signer::Ed25519(key), kid);
+        Ok((token, derived))
+    }
+
+    /// Step-up authentication: a live session presents a stronger second
+    /// factor and its ACR is upgraded in place (e.g. `pwd` -> `pwd+totp`).
+    /// Downgrades are refused.
+    pub fn step_up_session(
+        &self,
+        session_id: &str,
+        new_acr: &str,
+    ) -> Result<SessionInfo, BrokerError> {
+        let rank = |acr: &str| match acr {
+            "mfa-hw" => 3,
+            "mfa-totp" | "pwd+totp" => 2,
+            "pwd" => 1,
+            _ => 0,
+        };
+        let mut state = self.state.write();
+        let session = state
+            .sessions
+            .get_mut(session_id)
+            .ok_or(BrokerError::InvalidSession)?;
+        if rank(new_acr) < rank(&session.acr) {
+            return Err(BrokerError::AcrMismatch);
+        }
+        session.acr = new_acr.to_string();
+        Ok(session.clone())
+    }
+
+    /// Introspection: is the token id still active (unexpired session-side
+    /// and not revoked)? Services enforcing per-session access call this
+    /// in addition to local JWKS validation.
+    pub fn introspect(&self, jti: &str) -> bool {
+        let state = self.state.read();
+        if state.revoked_tokens.contains(jti) {
+            return false;
+        }
+        match state.active_tokens.get(jti) {
+            Some((subject, exp)) => {
+                !state.revoked_subjects.contains(subject) && self.clock.now_secs() < *exp
+            }
+            None => false,
+        }
+    }
+
+    /// Revoke a single token.
+    pub fn revoke_token(&self, jti: &str) {
+        self.state.write().revoked_tokens.insert(jti.to_string());
+    }
+
+    /// End a session (logout or kill switch). Tokens already issued remain
+    /// until expiry unless services introspect.
+    pub fn revoke_session(&self, session_id: &str) {
+        self.state.write().sessions.remove(session_id);
+    }
+
+    /// Revoke a subject outright: sessions die, introspection fails, new
+    /// logins are refused. The identity-layer kill switch.
+    pub fn revoke_subject(&self, subject: &str) {
+        let mut state = self.state.write();
+        state.revoked_subjects.insert(subject.to_string());
+        state.sessions.retain(|_, s| s.subject != subject);
+    }
+
+    /// Lift a subject revocation (post-incident).
+    pub fn reinstate_subject(&self, subject: &str) {
+        self.state.write().revoked_subjects.remove(subject);
+    }
+
+    /// Look up a live session.
+    pub fn session(&self, session_id: &str) -> Option<SessionInfo> {
+        self.state.read().sessions.get(session_id).cloned()
+    }
+
+    /// Total tokens issued (metrics).
+    pub fn tokens_issued(&self) -> u64 {
+        self.state.read().tokens_issued
+    }
+
+    /// Live session count (metrics).
+    pub fn session_count(&self) -> usize {
+        self.state.read().sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authz::StaticAuthz;
+    use dri_federation::metadata::EntityDescriptor;
+    use dri_federation::types::{Attribute, EntityCategory};
+
+    struct Fixture {
+        broker: IdentityBroker,
+        proxy_key: SigningKey,
+        authz: Arc<StaticAuthz>,
+        clock: SimClock,
+    }
+
+    const PROXY: &str = "https://proxy.myaccessid.org";
+    const BROKER: &str = "https://broker.isambard.ac.uk";
+
+    fn fixture() -> Fixture {
+        let clock = SimClock::starting_at(1_000_000_000);
+        let registry = Arc::new(FederationRegistry::new());
+        registry.register_federation("edugain", "GEANT");
+        let proxy_key = SigningKey::from_seed(&[11u8; 32]);
+        registry
+            .register_entity(EntityDescriptor {
+                entity_id: PROXY.into(),
+                display_name: "MyAccessID".into(),
+                kind: EntityKind::Proxy,
+                home_federation: "edugain".into(),
+                categories: vec![EntityCategory::ResearchAndScholarship],
+                max_loa: LevelOfAssurance::High,
+                signing_key: proxy_key.verifying_key(),
+            })
+            .unwrap();
+        let authz = Arc::new(StaticAuthz::new());
+        let broker = IdentityBroker::new(
+            BROKER,
+            [12u8; 32],
+            8 * 3600,
+            clock.clone(),
+            registry,
+            authz.clone(),
+        );
+        broker.register_service(TokenPolicy::standard("ssh-ca", 900));
+        broker.register_service(TokenPolicy::admin("mgmt-tailnet", 600));
+        Fixture { broker, proxy_key, authz, clock }
+    }
+
+    fn proxy_assertion(f: &Fixture, cuid: &str) -> String {
+        let now = f.clock.now_secs();
+        Assertion {
+            issuer: PROXY.into(),
+            subject: cuid.into(),
+            audience: BROKER.into(),
+            issued_at: now,
+            expires_at: now + 300,
+            authn_context: "pwd".into(),
+            loa: LevelOfAssurance::Medium,
+            attributes: vec![Attribute::new("voPersonID", cuid)],
+            assertion_id: format!("a-{cuid}-{now}"),
+        }
+        .sign(&f.proxy_key)
+    }
+
+    #[test]
+    fn authorization_leads_authentication() {
+        let f = fixture();
+        let wire = proxy_assertion(&f, "maid-000001");
+        // Valid assertion, but no grants: refused.
+        assert!(matches!(
+            f.broker.login_federated(PROXY, &wire),
+            Err(BrokerError::NotAuthorized)
+        ));
+        // After a grant appears, the same user can register.
+        f.authz.grant("maid-000001", "ssh-ca", &["researcher"]);
+        let wire2 = proxy_assertion(&f, "maid-000001");
+        let session = f.broker.login_federated(PROXY, &wire2).unwrap();
+        assert_eq!(session.subject, "maid-000001");
+        assert_eq!(session.source, IdentitySource::Federated);
+    }
+
+    #[test]
+    fn issued_token_validates_against_jwks() {
+        let f = fixture();
+        f.authz.grant("maid-000001", "ssh-ca", &["researcher"]);
+        let session = f
+            .broker
+            .login_federated(PROXY, &proxy_assertion(&f, "maid-000001"))
+            .unwrap();
+        let (token, claims) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
+        let jwks = f.broker.jwks();
+        let validated = jwks.validate(&token, "ssh-ca", f.clock.now_secs()).unwrap();
+        assert_eq!(validated, claims);
+        assert!(validated.has_role("researcher"));
+        // Wrong audience fails.
+        assert!(jwks.validate(&token, "jupyter", f.clock.now_secs()).is_err());
+        assert!(f.broker.introspect(&claims.token_id));
+    }
+
+    #[test]
+    fn token_expiry_enforced_via_jwks() {
+        let f = fixture();
+        f.authz.grant("u", "ssh-ca", &["researcher"]);
+        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let (token, claims) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
+        f.clock.advance_secs(901);
+        assert!(f
+            .broker
+            .jwks()
+            .validate(&token, "ssh-ca", f.clock.now_secs())
+            .is_err());
+        assert!(!f.broker.introspect(&claims.token_id));
+    }
+
+    #[test]
+    fn session_expiry_requires_reauth() {
+        let f = fixture();
+        f.authz.grant("u", "ssh-ca", &["researcher"]);
+        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        f.clock.advance_secs(8 * 3600 + 1);
+        assert!(matches!(
+            f.broker.issue_token(&session.session_id, "ssh-ca"),
+            Err(BrokerError::SessionExpired)
+        ));
+    }
+
+    #[test]
+    fn no_roles_no_token() {
+        let f = fixture();
+        f.authz.grant("u", "ssh-ca", &["researcher"]);
+        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        f.broker.register_service(TokenPolicy::standard("jupyter", 900));
+        assert!(matches!(
+            f.broker.issue_token(&session.session_id, "jupyter"),
+            Err(BrokerError::NoRolesForAudience)
+        ));
+        assert!(matches!(
+            f.broker.issue_token(&session.session_id, "unregistered"),
+            Err(BrokerError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn admin_audience_rejects_federated_sessions() {
+        let f = fixture();
+        f.authz.grant("u", "mgmt-tailnet", &["sysadmin"]);
+        f.authz.grant("u", "ssh-ca", &["researcher"]);
+        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        // Federated session: admin_only + acr + loa all fail; loa first.
+        let err = f.broker.issue_token(&session.session_id, "mgmt-tailnet");
+        assert!(matches!(
+            err,
+            Err(BrokerError::InsufficientLoa)
+                | Err(BrokerError::AcrMismatch)
+                | Err(BrokerError::AdminOnly)
+        ));
+    }
+
+    #[test]
+    fn admin_session_gets_admin_token() {
+        let f = fixture();
+        f.authz.grant("admin:dave", "mgmt-tailnet", &["sysadmin"]);
+        let login = ManagedLogin { subject: "admin:dave".into(), acr: "mfa-hw".into() };
+        let session = f.broker.login_managed(&login, IdentitySource::AdminIdp).unwrap();
+        let (token, claims) =
+            f.broker.issue_token(&session.session_id, "mgmt-tailnet").unwrap();
+        assert!(claims.has_role("sysadmin"));
+        assert_eq!(claims.acr, "mfa-hw");
+        assert!(f
+            .broker
+            .jwks()
+            .validate(&token, "mgmt-tailnet", f.clock.now_secs())
+            .is_ok());
+    }
+
+    #[test]
+    fn last_resort_session_cannot_reach_admin_audience() {
+        let f = fixture();
+        f.authz.grant("last-resort:vendor", "mgmt-tailnet", &["sysadmin"]);
+        let login =
+            ManagedLogin { subject: "last-resort:vendor".into(), acr: "mfa-totp".into() };
+        let session = f.broker.login_managed(&login, IdentitySource::LastResort).unwrap();
+        assert!(matches!(
+            f.broker.issue_token(&session.session_id, "mgmt-tailnet"),
+            Err(BrokerError::AcrMismatch) | Err(BrokerError::AdminOnly)
+        ));
+    }
+
+    #[test]
+    fn revocation_kill_switch() {
+        let f = fixture();
+        f.authz.grant("u", "ssh-ca", &["researcher"]);
+        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let (_, claims) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
+        assert!(f.broker.introspect(&claims.token_id));
+
+        f.broker.revoke_subject("u");
+        // Introspection now fails even though the JWT is unexpired.
+        assert!(!f.broker.introspect(&claims.token_id));
+        // Session is gone.
+        assert!(matches!(
+            f.broker.issue_token(&session.session_id, "ssh-ca"),
+            Err(BrokerError::InvalidSession)
+        ));
+        // New logins are refused.
+        assert!(matches!(
+            f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")),
+            Err(BrokerError::SubjectRevoked)
+        ));
+        // Reinstatement restores access.
+        f.broker.reinstate_subject("u");
+        assert!(f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).is_ok());
+    }
+
+    #[test]
+    fn key_rotation_keeps_old_tokens_valid_until_prune() {
+        let f = fixture();
+        f.authz.grant("u", "ssh-ca", &["researcher"]);
+        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let (old_token, _) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
+        f.broker.rotate_keys([99u8; 32]);
+        let (new_token, _) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
+        let jwks = f.broker.jwks();
+        assert_eq!(jwks.key_count(), 2);
+        let now = f.clock.now_secs();
+        assert!(jwks.validate(&old_token, "ssh-ca", now).is_ok());
+        assert!(jwks.validate(&new_token, "ssh-ca", now).is_ok());
+        // After pruning to 1 key, the old token no longer validates.
+        f.broker.prune_keys(1);
+        let jwks2 = f.broker.jwks();
+        assert!(jwks2.validate(&old_token, "ssh-ca", now).is_err());
+        assert!(jwks2.validate(&new_token, "ssh-ca", now).is_ok());
+    }
+
+    #[test]
+    fn token_exchange_derives_narrower_token() {
+        let f = fixture();
+        f.authz.grant("u", "ssh-ca", &["researcher"]);
+        f.broker.register_service(TokenPolicy::standard("jupyter", 900));
+        f.broker.register_service(TokenPolicy::standard("slurm", 7200));
+        f.authz.grant("u", "jupyter", &["researcher"]);
+        f.authz.grant("u", "slurm", &["researcher"]);
+        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let (jupyter_token, jc) = f.broker.issue_token(&session.session_id, "jupyter").unwrap();
+        let (slurm_token, sc) = f
+            .broker
+            .exchange_token(&jupyter_token, "jupyter", "slurm")
+            .unwrap();
+        assert_eq!(sc.subject, jc.subject);
+        assert_eq!(sc.audience, "slurm");
+        // Derived expiry capped at the subject token's.
+        assert!(sc.expires_at <= jc.expires_at);
+        // Actor claim present.
+        assert_eq!(
+            sc.extra_claim("act").and_then(Value::as_str),
+            Some("jupyter")
+        );
+        // And it validates.
+        assert!(f
+            .broker
+            .jwks()
+            .validate(&slurm_token, "slurm", f.clock.now_secs())
+            .is_ok());
+    }
+
+    #[test]
+    fn token_exchange_respects_target_policy() {
+        let f = fixture();
+        f.authz.grant("u", "ssh-ca", &["researcher"]);
+        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let (token, _) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
+        // No roles on mgmt-tailnet (and LoA/ACR gates anyway): refused.
+        assert!(f.broker.exchange_token(&token, "ssh-ca", "mgmt-tailnet").is_err());
+        // A revoked subject token cannot be exchanged.
+        let (t2, c2) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
+        f.broker.revoke_token(&c2.token_id);
+        assert!(matches!(
+            f.broker.exchange_token(&t2, "ssh-ca", "ssh-ca"),
+            Err(BrokerError::InvalidSession)
+        ));
+    }
+
+    #[test]
+    fn step_up_upgrades_never_downgrades() {
+        let f = fixture();
+        f.authz.grant("u", "ssh-ca", &["researcher"]);
+        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        assert_eq!(session.acr, "pwd");
+        let upgraded = f
+            .broker
+            .step_up_session(&session.session_id, "pwd+totp")
+            .unwrap();
+        assert_eq!(upgraded.acr, "pwd+totp");
+        // Downgrade refused.
+        assert!(matches!(
+            f.broker.step_up_session(&session.session_id, "pwd"),
+            Err(BrokerError::AcrMismatch)
+        ));
+        // Unknown session refused.
+        assert!(matches!(
+            f.broker.step_up_session("sess-999999", "mfa-hw"),
+            Err(BrokerError::InvalidSession)
+        ));
+    }
+
+    #[test]
+    fn single_token_revocation() {
+        let f = fixture();
+        f.authz.grant("u", "ssh-ca", &["researcher"]);
+        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let (_, c1) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
+        let (_, c2) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
+        f.broker.revoke_token(&c1.token_id);
+        assert!(!f.broker.introspect(&c1.token_id));
+        assert!(f.broker.introspect(&c2.token_id));
+    }
+}

@@ -1,0 +1,382 @@
+//! The Jupyter notebook service (user story 6).
+//!
+//! Two halves, as in the deployed system:
+//!
+//! * the **authenticator** runs on the login node at the MDC end of the
+//!   Zenith tunnel: it extracts the broker token from the `x-auth-token`
+//!   header, validates it against the broker JWKS (issuer, audience
+//!   `jupyter`, expiry, signature) and optionally introspects it;
+//! * the **spawner** places a notebook session on a compute node via the
+//!   scheduler's interactive partition, bound to the user's per-project
+//!   UNIX account.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dri_broker::broker::Jwks;
+use dri_clock::{IdGen, SimClock};
+use dri_crypto::json::Value;
+use dri_crypto::jwt::JwtError;
+use parking_lot::RwLock;
+
+use crate::slurm::{Scheduler, SubmitError};
+
+/// Token-introspection callback (typically `IdentityBroker::introspect`).
+pub type IntrospectFn = Arc<dyn Fn(&str) -> bool + Send + Sync>;
+
+/// Jupyter failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JupyterError {
+    /// Missing `x-auth-token` header.
+    NoToken,
+    /// Token validation failed.
+    BadToken(JwtError),
+    /// Token revoked per introspection.
+    TokenRevoked,
+    /// Token valid but carries no usable role.
+    RoleMissing,
+    /// The token has no UNIX account claim for this cluster.
+    NoAccount,
+    /// The spawner could not get resources.
+    Spawn(SubmitError),
+    /// Service at capacity.
+    AtCapacity,
+}
+
+impl std::fmt::Display for JupyterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JupyterError::NoToken => write!(f, "missing x-auth-token header"),
+            JupyterError::BadToken(e) => write!(f, "token rejected: {e}"),
+            JupyterError::TokenRevoked => write!(f, "token revoked"),
+            JupyterError::RoleMissing => write!(f, "token carries no usable role"),
+            JupyterError::NoAccount => write!(f, "no unix account claim"),
+            JupyterError::Spawn(e) => write!(f, "spawn failed: {e}"),
+            JupyterError::AtCapacity => write!(f, "service at capacity"),
+        }
+    }
+}
+
+impl std::error::Error for JupyterError {}
+
+/// A live notebook session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotebookSession {
+    /// Session id.
+    pub id: String,
+    /// Subject (cuid).
+    pub subject: String,
+    /// UNIX account the kernel runs as.
+    pub unix_account: String,
+    /// Project charged.
+    pub project: String,
+    /// Scheduler job backing the session.
+    pub job_id: String,
+    /// Token id that opened the session (for revocation tracing).
+    pub token_id: String,
+    /// Start time (ms).
+    pub started_at_ms: u64,
+}
+
+/// The notebook service.
+pub struct JupyterService {
+    /// Audience tokens must be scoped to.
+    pub audience: String,
+    /// Interactive partition used for kernels.
+    pub partition: String,
+    /// Maximum simultaneous sessions.
+    pub capacity: usize,
+    clock: SimClock,
+    jwks: RwLock<Jwks>,
+    scheduler: Arc<Scheduler>,
+    sessions: RwLock<HashMap<String, NotebookSession>>,
+    introspect: Option<IntrospectFn>,
+    ids: IdGen,
+}
+
+impl JupyterService {
+    /// Create the service.
+    pub fn new(
+        jwks: Jwks,
+        scheduler: Arc<Scheduler>,
+        partition: impl Into<String>,
+        capacity: usize,
+        clock: SimClock,
+    ) -> JupyterService {
+        JupyterService {
+            audience: "jupyter".to_string(),
+            partition: partition.into(),
+            capacity,
+            clock,
+            jwks: RwLock::new(jwks),
+            scheduler,
+            sessions: RwLock::new(HashMap::new()),
+            introspect: None,
+            ids: IdGen::new("nb"),
+        }
+    }
+
+    /// Attach a token-introspection callback.
+    pub fn with_introspection(mut self, check: IntrospectFn) -> JupyterService {
+        self.introspect = Some(check);
+        self
+    }
+
+    /// Refresh the JWKS snapshot.
+    pub fn update_jwks(&self, jwks: Jwks) {
+        *self.jwks.write() = jwks;
+    }
+
+    /// Handle an authenticated spawn request arriving through the tunnel.
+    /// `headers` are the forwarded HTTP headers.
+    pub fn spawn(
+        &self,
+        headers: &[(String, String)],
+    ) -> Result<NotebookSession, JupyterError> {
+        let token = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("x-auth-token"))
+            .map(|(_, v)| v.as_str())
+            .ok_or(JupyterError::NoToken)?;
+        let now = self.clock.now_secs();
+        let claims = self
+            .jwks
+            .read()
+            .validate(token, &self.audience, now)
+            .map_err(JupyterError::BadToken)?;
+        if let Some(check) = &self.introspect {
+            if !check(&claims.token_id) {
+                return Err(JupyterError::TokenRevoked);
+            }
+        }
+        if !claims.has_role("pi") && !claims.has_role("researcher") {
+            return Err(JupyterError::RoleMissing);
+        }
+        // The broker attaches the target unix account + project as claims.
+        let account = claims
+            .extra_claim("unix_account")
+            .and_then(Value::as_str)
+            .ok_or(JupyterError::NoAccount)?
+            .to_string();
+        let project = claims
+            .extra_claim("project")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+
+        if self.sessions.read().len() >= self.capacity {
+            return Err(JupyterError::AtCapacity);
+        }
+        let job_id = self
+            .scheduler
+            .submit(&account, &project, &self.partition, 1, 4 * 3600)
+            .map_err(JupyterError::Spawn)?;
+        self.scheduler.tick();
+
+        let session = NotebookSession {
+            id: self.ids.next(),
+            subject: claims.subject.clone(),
+            unix_account: account,
+            project,
+            job_id,
+            token_id: claims.token_id.clone(),
+            started_at_ms: self.clock.now_ms(),
+        };
+        self.sessions
+            .write()
+            .insert(session.id.clone(), session.clone());
+        Ok(session)
+    }
+
+    /// Stop a session (user action or expiry), cancelling its job.
+    pub fn stop(&self, session_id: &str) -> bool {
+        match self.sessions.write().remove(session_id) {
+            Some(s) => {
+                self.scheduler.cancel(&s.job_id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sever every session of a subject (kill switch).
+    pub fn sever_subject(&self, subject: &str) -> usize {
+        let victims: Vec<String> = {
+            let sessions = self.sessions.read();
+            sessions
+                .values()
+                .filter(|s| s.subject == subject)
+                .map(|s| s.id.clone())
+                .collect()
+        };
+        let mut n = 0;
+        for id in victims {
+            if self.stop(&id) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// Session snapshot.
+    pub fn session(&self, id: &str) -> Option<NotebookSession> {
+        self.sessions.read().get(id).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dri_broker::authz::StaticAuthz;
+    use dri_broker::broker::{IdentityBroker, IdentitySource, TokenPolicy};
+    use dri_broker::managed_idp::ManagedLogin;
+    use dri_federation::metadata::FederationRegistry;
+
+    struct Fixture {
+        service: JupyterService,
+        broker: Arc<IdentityBroker>,
+        scheduler: Arc<Scheduler>,
+        session_id: String,
+        clock: SimClock,
+    }
+
+    fn fixture(capacity: usize) -> Fixture {
+        let clock = SimClock::starting_at(3_000_000_000);
+        let authz = Arc::new(StaticAuthz::new());
+        authz.grant("last-resort:alice", "jupyter", &["researcher"]);
+        let broker = Arc::new(IdentityBroker::new(
+            "https://broker.isambard.ac.uk",
+            [71u8; 32],
+            3600,
+            clock.clone(),
+            Arc::new(FederationRegistry::new()),
+            authz,
+        ));
+        broker.register_service(TokenPolicy::standard("jupyter", 900));
+        let session = broker
+            .login_managed(
+                &ManagedLogin { subject: "last-resort:alice".into(), acr: "mfa-totp".into() },
+                IdentitySource::LastResort,
+            )
+            .unwrap();
+        let scheduler = Arc::new(Scheduler::new(clock.clone()));
+        scheduler.add_partition("interactive", 64, 1);
+        let broker2 = broker.clone();
+        let service = JupyterService::new(
+            broker.jwks(),
+            scheduler.clone(),
+            "interactive",
+            capacity,
+            clock.clone(),
+        )
+        .with_introspection(Arc::new(move |jti| broker2.introspect(jti)));
+        Fixture { service, broker, scheduler, session_id: session.session_id, clock }
+    }
+
+    fn token(f: &Fixture) -> String {
+        f.broker
+            .issue_token_with_extra(
+                &f.session_id,
+                "jupyter",
+                vec![
+                    ("unix_account".into(), Value::s("u123")),
+                    ("project".into(), Value::s("climate-llm")),
+                ],
+            )
+            .unwrap()
+            .0
+    }
+
+    fn headers(token: &str) -> Vec<(String, String)> {
+        vec![("x-auth-token".into(), token.into())]
+    }
+
+    #[test]
+    fn spawn_happy_path() {
+        let f = fixture(10);
+        let session = f.service.spawn(&headers(&token(&f))).unwrap();
+        assert_eq!(session.unix_account, "u123");
+        assert_eq!(session.project, "climate-llm");
+        // A job is really running behind it.
+        let job = f.scheduler.job(&session.job_id).unwrap();
+        assert_eq!(job.state, crate::slurm::JobState::Running);
+        assert_eq!(job.user, "u123");
+    }
+
+    #[test]
+    fn missing_or_bad_token_rejected() {
+        let f = fixture(10);
+        assert_eq!(f.service.spawn(&[]), Err(JupyterError::NoToken));
+        assert!(matches!(
+            f.service.spawn(&headers("junk")),
+            Err(JupyterError::BadToken(_))
+        ));
+        // Expired token.
+        let t = token(&f);
+        f.clock.advance_secs(901);
+        assert!(matches!(
+            f.service.spawn(&headers(&t)),
+            Err(JupyterError::BadToken(JwtError::Expired))
+        ));
+    }
+
+    #[test]
+    fn revoked_token_rejected_via_introspection() {
+        let f = fixture(10);
+        let (t, claims) = f
+            .broker
+            .issue_token_with_extra(
+                &f.session_id,
+                "jupyter",
+                vec![("unix_account".into(), Value::s("u123"))],
+            )
+            .unwrap();
+        f.broker.revoke_token(&claims.token_id);
+        assert_eq!(f.service.spawn(&headers(&t)), Err(JupyterError::TokenRevoked));
+    }
+
+    #[test]
+    fn token_without_account_claim_rejected() {
+        let f = fixture(10);
+        let (t, _) = f.broker.issue_token(&f.session_id, "jupyter").unwrap();
+        assert_eq!(f.service.spawn(&headers(&t)), Err(JupyterError::NoAccount));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let f = fixture(2);
+        f.service.spawn(&headers(&token(&f))).unwrap();
+        f.service.spawn(&headers(&token(&f))).unwrap();
+        assert_eq!(
+            f.service.spawn(&headers(&token(&f))),
+            Err(JupyterError::AtCapacity)
+        );
+        assert_eq!(f.service.session_count(), 2);
+    }
+
+    #[test]
+    fn stop_cancels_job() {
+        let f = fixture(10);
+        let session = f.service.spawn(&headers(&token(&f))).unwrap();
+        assert!(f.service.stop(&session.id));
+        let job = f.scheduler.job(&session.job_id).unwrap();
+        assert_eq!(job.state, crate::slurm::JobState::Cancelled);
+        assert!(!f.service.stop(&session.id));
+    }
+
+    #[test]
+    fn sever_subject_kills_all_their_notebooks() {
+        let f = fixture(10);
+        f.service.spawn(&headers(&token(&f))).unwrap();
+        f.service.spawn(&headers(&token(&f))).unwrap();
+        assert_eq!(f.service.sever_subject("last-resort:alice"), 2);
+        assert_eq!(f.service.session_count(), 0);
+        let (_pending, running) = f.scheduler.queue_depth();
+        assert_eq!(running, 0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Login nodes: the gateway to the supercomputer (user plane).
+//!
+//! A login node accepts an SSH session only when (1) the presented
+//! certificate chains to the trusted CA, is in its validity window, and
+//! names the requested UNIX account as a principal; (2) the account is
+//! actually provisioned on the node; and (3) the connecting client proves
+//! possession of the certified private key by signing a fresh challenge.
+
+use std::collections::HashMap;
+
+use dri_clock::{IdGen, SimClock, SimRng};
+use dri_crypto::ed25519::VerifyingKey;
+use dri_sshca::cert::{CertError, SshCertificate};
+use parking_lot::{Mutex, RwLock};
+
+/// Login failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoginError {
+    /// Certificate rejected.
+    Cert(CertError),
+    /// The UNIX account is not provisioned on this node.
+    NoSuchAccount(String),
+    /// Possession proof failed (signature didn't verify against the
+    /// certified public key).
+    BadPossessionProof,
+    /// Account locked (kill switch).
+    AccountLocked,
+}
+
+impl std::fmt::Display for LoginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoginError::Cert(e) => write!(f, "certificate rejected: {e}"),
+            LoginError::NoSuchAccount(a) => write!(f, "no such account {a}"),
+            LoginError::BadPossessionProof => write!(f, "key possession proof failed"),
+            LoginError::AccountLocked => write!(f, "account locked"),
+        }
+    }
+}
+
+impl std::error::Error for LoginError {}
+
+/// A live shell session on a login node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShellSession {
+    /// Session id.
+    pub id: String,
+    /// UNIX account.
+    pub account: String,
+    /// Project the account belongs to.
+    pub project: String,
+    /// Certificate key id (audit: which human).
+    pub key_id: String,
+    /// Start time (ms).
+    pub started_at_ms: u64,
+}
+
+struct AccountRecord {
+    project: String,
+    locked: bool,
+}
+
+/// A login node.
+pub struct LoginNode {
+    /// Fabric host id (`mdc/login01`).
+    pub host_id: String,
+    clock: SimClock,
+    ca_key: RwLock<VerifyingKey>,
+    accounts: RwLock<HashMap<String, AccountRecord>>,
+    sessions: RwLock<HashMap<String, ShellSession>>,
+    rng: Mutex<SimRng>,
+    ids: IdGen,
+}
+
+impl LoginNode {
+    /// Create a login node trusting `ca_key` as the user CA.
+    pub fn new(
+        host_id: impl Into<String>,
+        ca_key: VerifyingKey,
+        clock: SimClock,
+        rng: SimRng,
+    ) -> LoginNode {
+        LoginNode {
+            host_id: host_id.into(),
+            clock,
+            ca_key: RwLock::new(ca_key),
+            accounts: RwLock::new(HashMap::new()),
+            sessions: RwLock::new(HashMap::new()),
+            rng: Mutex::new(rng),
+            ids: IdGen::new("shell"),
+        }
+    }
+
+    /// Update the trusted user-CA key.
+    pub fn trust_ca(&self, key: VerifyingKey) {
+        *self.ca_key.write() = key;
+    }
+
+    /// Provision a per-project UNIX account (driven from the portal).
+    pub fn provision_account(&self, account: &str, project: &str) {
+        self.accounts.write().insert(
+            account.to_string(),
+            AccountRecord { project: project.to_string(), locked: false },
+        );
+    }
+
+    /// Deprovision an account (project expiry / member removal).
+    pub fn deprovision_account(&self, account: &str) -> bool {
+        let removed = self.accounts.write().remove(account).is_some();
+        if removed {
+            self.sessions.write().retain(|_, s| s.account != account);
+        }
+        removed
+    }
+
+    /// Lock / unlock an account (kill switch; sessions are severed on lock).
+    pub fn set_locked(&self, account: &str, locked: bool) -> bool {
+        let mut accounts = self.accounts.write();
+        match accounts.get_mut(account) {
+            Some(rec) => {
+                rec.locked = locked;
+                if locked {
+                    self.sessions.write().retain(|_, s| s.account != account);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Open an SSH session: certificate + possession proof.
+    ///
+    /// `sign_challenge` is the client's key operation (e.g.
+    /// `SshCertClient::sign_auth_challenge`).
+    pub fn open_session(
+        &self,
+        cert: &SshCertificate,
+        account: &str,
+        sign_challenge: impl FnOnce(&[u8]) -> [u8; 64],
+    ) -> Result<ShellSession, LoginError> {
+        cert.verify(&self.ca_key.read(), self.clock.now_secs(), Some(account))
+            .map_err(LoginError::Cert)?;
+        let project = {
+            let accounts = self.accounts.read();
+            let rec = accounts
+                .get(account)
+                .ok_or_else(|| LoginError::NoSuchAccount(account.to_string()))?;
+            if rec.locked {
+                return Err(LoginError::AccountLocked);
+            }
+            rec.project.clone()
+        };
+        // Possession proof: fresh challenge signed by the certified key.
+        let mut challenge = [0u8; 32];
+        self.rng.lock().fill_bytes(&mut challenge);
+        let signature = sign_challenge(&challenge);
+        let user_key = VerifyingKey::from_bytes(cert.public_key);
+        if !user_key.verify(&challenge, &signature) {
+            return Err(LoginError::BadPossessionProof);
+        }
+        let session = ShellSession {
+            id: self.ids.next(),
+            account: account.to_string(),
+            project,
+            key_id: cert.key_id.clone(),
+            started_at_ms: self.clock.now_ms(),
+        };
+        self.sessions
+            .write()
+            .insert(session.id.clone(), session.clone());
+        Ok(session)
+    }
+
+    /// Is a session alive?
+    pub fn session_alive(&self, id: &str) -> bool {
+        self.sessions.read().contains_key(id)
+    }
+
+    /// Close a session.
+    pub fn close_session(&self, id: &str) -> bool {
+        self.sessions.write().remove(id).is_some()
+    }
+
+    /// Sever every session belonging to a certificate key id (kill switch
+    /// driven by subject, not account).
+    pub fn sever_by_key_id(&self, key_id: &str) -> usize {
+        let mut sessions = self.sessions.write();
+        let before = sessions.len();
+        sessions.retain(|_, s| s.key_id != key_id);
+        before - sessions.len()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// Number of provisioned accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dri_crypto::ed25519::SigningKey;
+
+    struct Fixture {
+        node: LoginNode,
+        ca: SigningKey,
+        user_key: SigningKey,
+        clock: SimClock,
+    }
+
+    fn fixture() -> Fixture {
+        let clock = SimClock::starting_at(500_000);
+        let ca = SigningKey::from_seed(&[61u8; 32]);
+        let user_key = SigningKey::from_seed(&[62u8; 32]);
+        let node = LoginNode::new(
+            "mdc/login01",
+            ca.verifying_key(),
+            clock.clone(),
+            SimRng::seed_from_u64(7),
+        );
+        node.provision_account("u123", "climate-llm");
+        Fixture { node, ca, user_key, clock }
+    }
+
+    fn cert(f: &Fixture) -> SshCertificate {
+        let now = f.clock.now_secs();
+        SshCertificate {
+            public_key: *f.user_key.verifying_key().as_bytes(),
+            serial: 1,
+            key_id: "maid-1".into(),
+            principals: vec!["u123".into()],
+            valid_after: now,
+            valid_before: now + 3600,
+            critical_options: vec![],
+            extensions: vec![],
+            signature: [0u8; 64],
+        }
+        .signed(&f.ca)
+    }
+
+    #[test]
+    fn login_with_cert_and_possession_proof() {
+        let f = fixture();
+        let c = cert(&f);
+        let session = f
+            .node
+            .open_session(&c, "u123", |ch| f.user_key.sign(ch))
+            .unwrap();
+        assert_eq!(session.project, "climate-llm");
+        assert_eq!(session.key_id, "maid-1");
+        assert!(f.node.session_alive(&session.id));
+    }
+
+    #[test]
+    fn stolen_cert_without_private_key_fails() {
+        let f = fixture();
+        let c = cert(&f);
+        let thief_key = SigningKey::from_seed(&[99u8; 32]);
+        assert_eq!(
+            f.node.open_session(&c, "u123", |ch| thief_key.sign(ch)),
+            Err(LoginError::BadPossessionProof)
+        );
+    }
+
+    #[test]
+    fn unprovisioned_account_fails() {
+        let f = fixture();
+        let now = f.clock.now_secs();
+        let c = SshCertificate {
+            public_key: *f.user_key.verifying_key().as_bytes(),
+            serial: 2,
+            key_id: "maid-1".into(),
+            principals: vec!["u999".into()],
+            valid_after: now,
+            valid_before: now + 3600,
+            critical_options: vec![],
+            extensions: vec![],
+            signature: [0u8; 64],
+        }
+        .signed(&f.ca);
+        assert_eq!(
+            f.node.open_session(&c, "u999", |ch| f.user_key.sign(ch)),
+            Err(LoginError::NoSuchAccount("u999".into()))
+        );
+    }
+
+    #[test]
+    fn expired_cert_fails() {
+        let f = fixture();
+        let c = cert(&f);
+        f.clock.advance_secs(3601);
+        assert_eq!(
+            f.node.open_session(&c, "u123", |ch| f.user_key.sign(ch)),
+            Err(LoginError::Cert(CertError::Expired))
+        );
+    }
+
+    #[test]
+    fn lock_severs_sessions_and_blocks_relogin() {
+        let f = fixture();
+        let c = cert(&f);
+        let session = f
+            .node
+            .open_session(&c, "u123", |ch| f.user_key.sign(ch))
+            .unwrap();
+        assert!(f.node.set_locked("u123", true));
+        assert!(!f.node.session_alive(&session.id));
+        assert_eq!(
+            f.node.open_session(&c, "u123", |ch| f.user_key.sign(ch)),
+            Err(LoginError::AccountLocked)
+        );
+        f.node.set_locked("u123", false);
+        assert!(f.node.open_session(&c, "u123", |ch| f.user_key.sign(ch)).is_ok());
+    }
+
+    #[test]
+    fn deprovision_removes_account_and_sessions() {
+        let f = fixture();
+        let c = cert(&f);
+        let s = f
+            .node
+            .open_session(&c, "u123", |ch| f.user_key.sign(ch))
+            .unwrap();
+        assert!(f.node.deprovision_account("u123"));
+        assert!(!f.node.session_alive(&s.id));
+        assert_eq!(f.node.account_count(), 0);
+        assert!(!f.node.deprovision_account("u123"));
+    }
+
+    #[test]
+    fn sever_by_key_id_cuts_only_that_subject() {
+        let f = fixture();
+        f.node.provision_account("u456", "genomics");
+        let c1 = cert(&f);
+        let now = f.clock.now_secs();
+        let other_key = SigningKey::from_seed(&[63u8; 32]);
+        let c2 = SshCertificate {
+            public_key: *other_key.verifying_key().as_bytes(),
+            serial: 3,
+            key_id: "maid-2".into(),
+            principals: vec!["u456".into()],
+            valid_after: now,
+            valid_before: now + 3600,
+            critical_options: vec![],
+            extensions: vec![],
+            signature: [0u8; 64],
+        }
+        .signed(&f.ca);
+        let s1 = f.node.open_session(&c1, "u123", |ch| f.user_key.sign(ch)).unwrap();
+        let s2 = f.node.open_session(&c2, "u456", |ch| other_key.sign(ch)).unwrap();
+        assert_eq!(f.node.sever_by_key_id("maid-1"), 1);
+        assert!(!f.node.session_alive(&s1.id));
+        assert!(f.node.session_alive(&s2.id));
+    }
+}

@@ -1,0 +1,583 @@
+//! A miniature Slurm: partitions, job queue, FIFO + backfill scheduling,
+//! walltime enforcement, and per-project usage accounting.
+
+use std::collections::HashMap;
+
+use dri_clock::{IdGen, SimClock};
+use parking_lot::RwLock;
+
+/// Job lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Queued, awaiting nodes.
+    Pending,
+    /// Running on allocated nodes.
+    Running,
+    /// Finished (walltime reached or completed).
+    Completed,
+    /// Cancelled by user or admin.
+    Cancelled,
+}
+
+/// A batch job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Job id (`job-000001`).
+    pub id: String,
+    /// UNIX account that submitted.
+    pub user: String,
+    /// Project charged.
+    pub project: String,
+    /// Partition name.
+    pub partition: String,
+    /// Nodes requested.
+    pub nodes: u32,
+    /// Maximum runtime in seconds.
+    pub walltime_secs: u64,
+    /// State.
+    pub state: JobState,
+    /// Submit time (seconds).
+    pub submitted_at: u64,
+    /// Start time (seconds), when running/complete.
+    pub started_at: Option<u64>,
+    /// End time (seconds), when complete/cancelled.
+    pub ended_at: Option<u64>,
+}
+
+/// A partition (named pool of nodes).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Partition name (`gh-grace-hopper`).
+    pub name: String,
+    /// Total nodes.
+    pub total_nodes: u32,
+    /// Nodes currently allocated.
+    pub allocated_nodes: u32,
+    /// Max nodes a single job may request.
+    pub max_nodes_per_job: u32,
+    /// Drained partitions accept submissions but start no new jobs.
+    pub drained: bool,
+}
+
+/// Submission failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No such partition.
+    UnknownPartition(String),
+    /// More nodes than the partition allows per job.
+    TooManyNodes,
+    /// Zero nodes or zero walltime.
+    InvalidRequest,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
+            SubmitError::TooManyNodes => write!(f, "request exceeds per-job node limit"),
+            SubmitError::InvalidRequest => write!(f, "invalid request"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[derive(Default)]
+struct SchedState {
+    partitions: HashMap<String, Partition>,
+    jobs: HashMap<String, Job>,
+    queue: Vec<String>,
+    /// (project, node-seconds) accumulated since last drain.
+    usage: HashMap<String, u64>,
+    /// Lifetime (project, node-seconds) for fairshare and reporting.
+    lifetime_usage: HashMap<String, u64>,
+    /// When true, the pending queue is ordered by fairshare (projects
+    /// with less accumulated usage first) instead of submission order.
+    fairshare: bool,
+}
+
+/// Per-project accounting row (sreport-like).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectAccounting {
+    /// Project name.
+    pub project: String,
+    /// Lifetime node-hours consumed.
+    pub node_hours: f64,
+    /// Completed job count.
+    pub completed: usize,
+    /// Cancelled job count.
+    pub cancelled: usize,
+    /// Running job count.
+    pub running: usize,
+    /// Pending job count.
+    pub pending: usize,
+}
+
+/// The scheduler daemon.
+pub struct Scheduler {
+    clock: SimClock,
+    state: RwLock<SchedState>,
+    ids: IdGen,
+}
+
+impl Scheduler {
+    /// Create a scheduler.
+    pub fn new(clock: SimClock) -> Scheduler {
+        Scheduler { clock, state: RwLock::new(SchedState::default()), ids: IdGen::new("job") }
+    }
+
+    /// Add a partition.
+    pub fn add_partition(&self, name: &str, total_nodes: u32, max_nodes_per_job: u32) {
+        self.state.write().partitions.insert(
+            name.to_string(),
+            Partition {
+                name: name.to_string(),
+                total_nodes,
+                allocated_nodes: 0,
+                max_nodes_per_job,
+                drained: false,
+            },
+        );
+    }
+
+    /// Submit a job (authentication/authorisation already happened at the
+    /// login node / Jupyter layer).
+    pub fn submit(
+        &self,
+        user: &str,
+        project: &str,
+        partition: &str,
+        nodes: u32,
+        walltime_secs: u64,
+    ) -> Result<String, SubmitError> {
+        if nodes == 0 || walltime_secs == 0 {
+            return Err(SubmitError::InvalidRequest);
+        }
+        let mut state = self.state.write();
+        let part = state
+            .partitions
+            .get(partition)
+            .ok_or_else(|| SubmitError::UnknownPartition(partition.to_string()))?;
+        if nodes > part.max_nodes_per_job || nodes > part.total_nodes {
+            return Err(SubmitError::TooManyNodes);
+        }
+        let job = Job {
+            id: self.ids.next(),
+            user: user.to_string(),
+            project: project.to_string(),
+            partition: partition.to_string(),
+            nodes,
+            walltime_secs,
+            state: JobState::Pending,
+            submitted_at: self.clock.now_secs(),
+            started_at: None,
+            ended_at: None,
+        };
+        let id = job.id.clone();
+        state.queue.push(id.clone());
+        state.jobs.insert(id.clone(), job);
+        Ok(id)
+    }
+
+    /// One scheduling pass: complete jobs past walltime, then start
+    /// pending jobs FIFO with backfill (a later job may start if the head
+    /// doesn't fit but it does).
+    pub fn tick(&self) {
+        let now = self.clock.now_secs();
+        let mut state = self.state.write();
+
+        // Completions first (frees nodes).
+        let mut freed: Vec<(String, u32, String, u64)> = Vec::new();
+        for job in state.jobs.values_mut() {
+            if job.state == JobState::Running {
+                let started = job.started_at.expect("running job has start");
+                if now >= started + job.walltime_secs {
+                    job.state = JobState::Completed;
+                    job.ended_at = Some(started + job.walltime_secs);
+                    freed.push((
+                        job.partition.clone(),
+                        job.nodes,
+                        job.project.clone(),
+                        (job.walltime_secs) * job.nodes as u64,
+                    ));
+                }
+            }
+        }
+        for (partition, nodes, project, node_secs) in freed {
+            if let Some(p) = state.partitions.get_mut(&partition) {
+                p.allocated_nodes -= nodes;
+            }
+            *state.usage.entry(project.clone()).or_insert(0) += node_secs;
+            *state.lifetime_usage.entry(project).or_insert(0) += node_secs;
+        }
+
+        // Starts: FIFO with backfill; under fairshare, pending jobs of
+        // lightly-used projects go first (stable within a project).
+        let mut queue = state.queue.clone();
+        if state.fairshare {
+            let usage_of = |job_id: &String| -> u64 {
+                state
+                    .jobs
+                    .get(job_id)
+                    .and_then(|j| state.lifetime_usage.get(&j.project))
+                    .copied()
+                    .unwrap_or(0)
+            };
+            queue.sort_by_key(usage_of);
+        }
+        let mut still_queued = Vec::with_capacity(queue.len());
+        for job_id in queue {
+            let (partition, nodes, cancelled) = match state.jobs.get(&job_id) {
+                Some(j) if j.state == JobState::Pending => {
+                    (j.partition.clone(), j.nodes, false)
+                }
+                _ => (String::new(), 0, true),
+            };
+            if cancelled {
+                continue;
+            }
+            let fits = state
+                .partitions
+                .get(&partition)
+                .map(|p| !p.drained && p.allocated_nodes + nodes <= p.total_nodes)
+                .unwrap_or(false);
+            if fits {
+                if let Some(p) = state.partitions.get_mut(&partition) {
+                    p.allocated_nodes += nodes;
+                }
+                let job = state.jobs.get_mut(&job_id).expect("exists");
+                job.state = JobState::Running;
+                job.started_at = Some(now);
+            } else {
+                still_queued.push(job_id);
+            }
+        }
+        state.queue = still_queued;
+    }
+
+    /// Cancel a job (user or kill switch). Frees nodes when running.
+    pub fn cancel(&self, job_id: &str) -> bool {
+        let now = self.clock.now_secs();
+        let mut state = self.state.write();
+        let (was_running, partition, nodes, project, elapsed) =
+            match state.jobs.get_mut(job_id) {
+                Some(j) if j.state == JobState::Pending || j.state == JobState::Running => {
+                    let was_running = j.state == JobState::Running;
+                    let elapsed = j
+                        .started_at
+                        .map(|s| now.saturating_sub(s))
+                        .unwrap_or(0);
+                    j.state = JobState::Cancelled;
+                    j.ended_at = Some(now);
+                    (was_running, j.partition.clone(), j.nodes, j.project.clone(), elapsed)
+                }
+                _ => return false,
+            };
+        if was_running {
+            if let Some(p) = state.partitions.get_mut(&partition) {
+                p.allocated_nodes -= nodes;
+            }
+            *state.usage.entry(project.clone()).or_insert(0) += elapsed * nodes as u64;
+            *state.lifetime_usage.entry(project).or_insert(0) += elapsed * nodes as u64;
+        }
+        state.queue.retain(|id| id != job_id);
+        true
+    }
+
+    /// Cancel every job belonging to a UNIX account (kill switch).
+    pub fn cancel_user_jobs(&self, user: &str) -> usize {
+        let ids: Vec<String> = {
+            let state = self.state.read();
+            state
+                .jobs
+                .values()
+                .filter(|j| {
+                    j.user == user
+                        && (j.state == JobState::Pending || j.state == JobState::Running)
+                })
+                .map(|j| j.id.clone())
+                .collect()
+        };
+        let mut n = 0;
+        for id in ids {
+            if self.cancel(&id) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Job snapshot.
+    pub fn job(&self, id: &str) -> Option<Job> {
+        self.state.read().jobs.get(id).cloned()
+    }
+
+    /// Partition snapshot.
+    pub fn partition(&self, name: &str) -> Option<Partition> {
+        self.state.read().partitions.get(name).cloned()
+    }
+
+    /// Drain or undrain a partition (admin operation): drained partitions
+    /// keep running jobs but start no new ones. Returns false for an
+    /// unknown partition.
+    pub fn set_drained(&self, name: &str, drained: bool) -> bool {
+        match self.state.write().partitions.get_mut(name) {
+            Some(p) => {
+                p.drained = drained;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drain accumulated usage as `(project, node_hours)` pairs (the core
+    /// pushes these into the portal's allocations).
+    pub fn drain_usage(&self) -> Vec<(String, f64)> {
+        let mut state = self.state.write();
+        let mut out: Vec<(String, f64)> = state
+            .usage
+            .drain()
+            .map(|(p, secs)| (p, secs as f64 / 3600.0))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Enable / disable fairshare queue ordering.
+    pub fn set_fairshare(&self, enabled: bool) {
+        self.state.write().fairshare = enabled;
+    }
+
+    /// An sreport-style accounting summary: per project, lifetime
+    /// node-hours plus (completed, cancelled, running, pending) job
+    /// counts, sorted by project name.
+    pub fn accounting_report(&self) -> Vec<ProjectAccounting> {
+        let state = self.state.read();
+        let mut by_project: HashMap<String, ProjectAccounting> = HashMap::new();
+        for job in state.jobs.values() {
+            let entry = by_project
+                .entry(job.project.clone())
+                .or_insert_with(|| ProjectAccounting {
+                    project: job.project.clone(),
+                    node_hours: 0.0,
+                    completed: 0,
+                    cancelled: 0,
+                    running: 0,
+                    pending: 0,
+                });
+            match job.state {
+                JobState::Completed => entry.completed += 1,
+                JobState::Cancelled => entry.cancelled += 1,
+                JobState::Running => entry.running += 1,
+                JobState::Pending => entry.pending += 1,
+            }
+        }
+        for (project, secs) in &state.lifetime_usage {
+            by_project
+                .entry(project.clone())
+                .or_insert_with(|| ProjectAccounting {
+                    project: project.clone(),
+                    node_hours: 0.0,
+                    completed: 0,
+                    cancelled: 0,
+                    running: 0,
+                    pending: 0,
+                })
+                .node_hours = *secs as f64 / 3600.0;
+        }
+        let mut out: Vec<ProjectAccounting> = by_project.into_values().collect();
+        out.sort_by(|a, b| a.project.cmp(&b.project));
+        out
+    }
+
+    /// Counts of (pending, running) jobs.
+    pub fn queue_depth(&self) -> (usize, usize) {
+        let state = self.state.read();
+        let pending = state
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Pending)
+            .count();
+        let running = state
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count();
+        (pending, running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> (Scheduler, SimClock) {
+        let clock = SimClock::starting_at(0);
+        let s = Scheduler::new(clock.clone());
+        s.add_partition("gh", 8, 4);
+        (s, clock)
+    }
+
+    #[test]
+    fn submit_and_run_to_completion() {
+        let (s, clock) = sched();
+        let id = s.submit("u123", "climate-llm", "gh", 2, 3600).unwrap();
+        assert_eq!(s.job(&id).unwrap().state, JobState::Pending);
+        s.tick();
+        assert_eq!(s.job(&id).unwrap().state, JobState::Running);
+        assert_eq!(s.partition("gh").unwrap().allocated_nodes, 2);
+        clock.advance_secs(3600);
+        s.tick();
+        let job = s.job(&id).unwrap();
+        assert_eq!(job.state, JobState::Completed);
+        assert_eq!(s.partition("gh").unwrap().allocated_nodes, 0);
+        // Usage: 2 nodes * 1 hour.
+        assert_eq!(s.drain_usage(), vec![("climate-llm".to_string(), 2.0)]);
+        // Draining twice yields nothing.
+        assert!(s.drain_usage().is_empty());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (s, _) = sched();
+        assert_eq!(
+            s.submit("u", "p", "nope", 1, 10),
+            Err(SubmitError::UnknownPartition("nope".into()))
+        );
+        assert_eq!(s.submit("u", "p", "gh", 5, 10), Err(SubmitError::TooManyNodes));
+        assert_eq!(s.submit("u", "p", "gh", 0, 10), Err(SubmitError::InvalidRequest));
+        assert_eq!(s.submit("u", "p", "gh", 1, 0), Err(SubmitError::InvalidRequest));
+    }
+
+    #[test]
+    fn fifo_with_backfill() {
+        let (s, _clock) = sched();
+        // Fill 6 of 8 nodes.
+        let a = s.submit("u1", "p", "gh", 3, 100).unwrap();
+        let b = s.submit("u2", "p", "gh", 3, 100).unwrap();
+        // Head of queue wants 4 (doesn't fit: only 2 free), but a later
+        // 2-node job can backfill.
+        let big = s.submit("u3", "p", "gh", 4, 100).unwrap();
+        let small = s.submit("u4", "p", "gh", 2, 100).unwrap();
+        s.tick();
+        assert_eq!(s.job(&a).unwrap().state, JobState::Running);
+        assert_eq!(s.job(&b).unwrap().state, JobState::Running);
+        assert_eq!(s.job(&big).unwrap().state, JobState::Pending);
+        assert_eq!(s.job(&small).unwrap().state, JobState::Running);
+        assert_eq!(s.partition("gh").unwrap().allocated_nodes, 8);
+    }
+
+    #[test]
+    fn cancel_pending_and_running() {
+        let (s, clock) = sched();
+        let a = s.submit("u1", "p", "gh", 2, 1000).unwrap();
+        let b = s.submit("u1", "p", "gh", 2, 1000).unwrap();
+        s.tick();
+        // Cancel running job after 600s: usage accrues pro rata.
+        clock.advance_secs(600);
+        assert!(s.cancel(&a));
+        assert_eq!(s.job(&a).unwrap().state, JobState::Cancelled);
+        // Cancel pending (b is running too... cancel it while pending?).
+        let c = s.submit("u1", "p", "gh", 2, 1000).unwrap();
+        assert!(s.cancel(&c));
+        assert_eq!(s.job(&c).unwrap().state, JobState::Cancelled);
+        // Double cancel fails.
+        assert!(!s.cancel(&a));
+        let usage = s.drain_usage();
+        assert_eq!(usage.len(), 1);
+        let (_, hours) = &usage[0];
+        assert!((hours - 2.0 * 600.0 / 3600.0).abs() < 1e-9, "pro-rata usage, got {hours}");
+        let _ = b;
+    }
+
+    #[test]
+    fn cancel_user_jobs_kill_switch() {
+        let (s, _) = sched();
+        s.submit("mallory", "p", "gh", 1, 100).unwrap();
+        s.submit("mallory", "p", "gh", 1, 100).unwrap();
+        s.submit("alice", "p", "gh", 1, 100).unwrap();
+        s.tick();
+        assert_eq!(s.cancel_user_jobs("mallory"), 2);
+        let (pending, running) = s.queue_depth();
+        assert_eq!(pending + running, 1);
+    }
+
+    #[test]
+    fn drained_partition_starts_no_jobs() {
+        let (s, clock) = sched();
+        let running = s.submit("u1", "p", "gh", 2, 1000).unwrap();
+        s.tick();
+        assert_eq!(s.job(&running).unwrap().state, JobState::Running);
+        assert!(s.set_drained("gh", true));
+        let queued = s.submit("u2", "p", "gh", 1, 1000).unwrap();
+        s.tick();
+        // Existing job unaffected, new job stays pending.
+        assert_eq!(s.job(&running).unwrap().state, JobState::Running);
+        assert_eq!(s.job(&queued).unwrap().state, JobState::Pending);
+        // Undrain: the queued job starts.
+        s.set_drained("gh", false);
+        s.tick();
+        assert_eq!(s.job(&queued).unwrap().state, JobState::Running);
+        assert!(!s.set_drained("nope", true));
+        let _ = clock;
+    }
+
+    #[test]
+    fn fairshare_prefers_light_projects() {
+        let (s, clock) = sched();
+        s.set_fairshare(true);
+        // Heavy project burns hours first.
+        let h = s.submit("u1", "heavy", "gh", 4, 3600).unwrap();
+        s.tick();
+        clock.advance_secs(3600);
+        s.tick();
+        assert_eq!(s.job(&h).unwrap().state, JobState::Completed);
+        // Fill most of the machine, then queue one job from each project;
+        // only 4 nodes free and both want 4: light goes first.
+        let filler = s.submit("u0", "other", "gh", 4, 10_000).unwrap();
+        s.tick();
+        assert_eq!(s.job(&filler).unwrap().state, JobState::Running);
+        let heavy_again = s.submit("u1", "heavy", "gh", 4, 100).unwrap();
+        let light = s.submit("u2", "light", "gh", 4, 100).unwrap();
+        s.tick();
+        assert_eq!(s.job(&light).unwrap().state, JobState::Running, "light project jumps the queue");
+        assert_eq!(s.job(&heavy_again).unwrap().state, JobState::Pending);
+    }
+
+    #[test]
+    fn accounting_report_summarises_projects() {
+        let (s, clock) = sched();
+        let a = s.submit("u1", "alpha", "gh", 2, 3600).unwrap();
+        let b = s.submit("u2", "beta", "gh", 1, 3600).unwrap();
+        s.tick();
+        clock.advance_secs(3600);
+        s.tick();
+        let _ = (a, b);
+        s.submit("u2", "beta", "gh", 1, 50).unwrap();
+        s.tick();
+        let report = s.accounting_report();
+        assert_eq!(report.len(), 2);
+        let alpha = report.iter().find(|r| r.project == "alpha").unwrap();
+        assert_eq!(alpha.completed, 1);
+        assert!((alpha.node_hours - 2.0).abs() < 1e-9);
+        let beta = report.iter().find(|r| r.project == "beta").unwrap();
+        assert_eq!(beta.completed, 1);
+        assert_eq!(beta.running, 1);
+        assert!((beta.node_hours - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn walltime_is_exact() {
+        let (s, clock) = sched();
+        let id = s.submit("u", "p", "gh", 1, 100).unwrap();
+        s.tick();
+        clock.advance_secs(99);
+        s.tick();
+        assert_eq!(s.job(&id).unwrap().state, JobState::Running);
+        clock.advance_secs(1);
+        s.tick();
+        let job = s.job(&id).unwrap();
+        assert_eq!(job.state, JobState::Completed);
+        assert_eq!(job.ended_at, Some(100));
+    }
+}

@@ -1,0 +1,113 @@
+//! Login flows and the shared error type for end-to-end workflows.
+
+use dri_broker::broker::BrokerError;
+use dri_broker::managed_idp::ManagedIdpError;
+use dri_broker::oidc::{DeviceFlowError, OidcError};
+use dri_cluster::jupyter::JupyterError;
+use dri_cluster::login::LoginError;
+use dri_cluster::mgmt::MgmtError;
+use dri_federation::idp::AuthnError;
+use dri_federation::proxy::ProxyError;
+use dri_netsim::bastion::BastionError;
+use dri_netsim::edge::EdgeError;
+use dri_netsim::tailnet::TailnetError;
+use dri_portal::portal::PortalError;
+use dri_sshca::ca::CaError;
+
+/// The unified error for end-to-end workflows: wraps the typed error of
+/// whichever layer refused. Workflows fail closed at the *first* layer
+/// that says no, so the variant tells you where enforcement happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// No user with that label.
+    NoSuchUser(String),
+    /// The operation needs a live session; log in first.
+    NotLoggedIn(String),
+    /// The user's identity route doesn't support this flow.
+    WrongIdentityKind,
+    /// Institutional IdP refused.
+    Idp(AuthnError),
+    /// MyAccessID-style proxy refused.
+    Proxy(ProxyError),
+    /// Identity broker refused.
+    Broker(BrokerError),
+    /// Managed IdP refused.
+    ManagedIdp(ManagedIdpError),
+    /// OIDC flow failed.
+    Oidc(OidcError),
+    /// Device flow failed.
+    Device(DeviceFlowError),
+    /// SSH CA refused.
+    Ca(CaError),
+    /// Bastion refused.
+    Bastion(BastionError),
+    /// Login node refused.
+    Login(LoginError),
+    /// Jupyter service refused.
+    Jupyter(JupyterError),
+    /// Tailnet refused.
+    Tailnet(TailnetError),
+    /// Management plane refused.
+    Mgmt(MgmtError),
+    /// Portal refused.
+    Portal(PortalError),
+    /// Edge proxy refused.
+    Edge(EdgeError),
+    /// The policy decision point denied access.
+    PolicyDenied(String),
+    /// The HTTP path returned an unexpected status.
+    UnexpectedStatus(u16, String),
+}
+
+macro_rules! from_impl {
+    ($ty:ty, $variant:ident) => {
+        impl From<$ty> for FlowError {
+            fn from(e: $ty) -> FlowError {
+                FlowError::$variant(e)
+            }
+        }
+    };
+}
+
+from_impl!(AuthnError, Idp);
+from_impl!(ProxyError, Proxy);
+from_impl!(BrokerError, Broker);
+from_impl!(ManagedIdpError, ManagedIdp);
+from_impl!(OidcError, Oidc);
+from_impl!(DeviceFlowError, Device);
+from_impl!(CaError, Ca);
+from_impl!(BastionError, Bastion);
+from_impl!(LoginError, Login);
+from_impl!(JupyterError, Jupyter);
+from_impl!(TailnetError, Tailnet);
+from_impl!(MgmtError, Mgmt);
+from_impl!(PortalError, Portal);
+from_impl!(EdgeError, Edge);
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::NoSuchUser(l) => write!(f, "no such user {l}"),
+            FlowError::NotLoggedIn(l) => write!(f, "{l} is not logged in"),
+            FlowError::WrongIdentityKind => write!(f, "flow unsupported for identity kind"),
+            FlowError::Idp(e) => write!(f, "IdP: {e}"),
+            FlowError::Proxy(e) => write!(f, "proxy: {e}"),
+            FlowError::Broker(e) => write!(f, "broker: {e}"),
+            FlowError::ManagedIdp(e) => write!(f, "managed IdP: {e}"),
+            FlowError::Oidc(e) => write!(f, "OIDC: {e}"),
+            FlowError::Device(e) => write!(f, "device flow: {e}"),
+            FlowError::Ca(e) => write!(f, "SSH CA: {e}"),
+            FlowError::Bastion(e) => write!(f, "bastion: {e}"),
+            FlowError::Login(e) => write!(f, "login node: {e}"),
+            FlowError::Jupyter(e) => write!(f, "jupyter: {e}"),
+            FlowError::Tailnet(e) => write!(f, "tailnet: {e}"),
+            FlowError::Mgmt(e) => write!(f, "management plane: {e}"),
+            FlowError::Portal(e) => write!(f, "portal: {e}"),
+            FlowError::Edge(e) => write!(f, "edge: {e}"),
+            FlowError::PolicyDenied(r) => write!(f, "policy denied: {r}"),
+            FlowError::UnexpectedStatus(s, b) => write!(f, "unexpected status {s}: {b}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}

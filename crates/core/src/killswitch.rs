@@ -1,0 +1,145 @@
+//! Coordinated kill switches (E11).
+//!
+//! The paper places externally managed kill switches at the bastion, the
+//! tailnets, and the tunnels, plus identity-layer revocation. This module
+//! orchestrates them so one call severs *everything* a subject holds:
+//! broker sessions and tokens, proxy account, bastion relays, login-node
+//! shells, notebooks, and batch jobs.
+
+use dri_broker::authz::AuthorizationSource;
+use dri_siem::events::{EventKind, Severity};
+
+use crate::infra::Infrastructure;
+
+/// What a kill-switch activation cut.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KillReport {
+    /// Subject acted on.
+    pub subject: String,
+    /// Broker sessions removed (plus the subject revocation itself).
+    pub broker_revoked: bool,
+    /// MyAccessID account suspended (federated identities only).
+    pub proxy_suspended: bool,
+    /// Bastion relay sessions severed.
+    pub bastion_sessions_cut: usize,
+    /// Login-node shells severed.
+    pub shells_cut: usize,
+    /// Notebook sessions severed.
+    pub notebooks_cut: usize,
+    /// Batch jobs cancelled.
+    pub jobs_cancelled: usize,
+    /// Simulated time of activation (ms).
+    pub at_ms: u64,
+}
+
+impl Infrastructure {
+    /// Activate the full kill chain for one subject.
+    pub fn kill_user(&self, subject: &str) -> KillReport {
+        let at_ms = self.clock.now_ms();
+
+        // Identity layer: no new sessions, introspection fails.
+        self.broker.revoke_subject(subject);
+        // Federation layer: suspend the community account if it is one.
+        let proxy_suspended = self.proxy.set_suspended(subject, true).is_ok();
+        // Access layer: cut bastion relays and block re-entry.
+        let bastion_sessions_cut = self.bastion.block_user(subject);
+        // HPC layer: shells, notebooks, and the subject's project jobs.
+        let shells_cut = self.login_node.sever_by_key_id(subject);
+        let notebooks_cut = self.jupyter.sever_subject(subject);
+        let mut jobs_cancelled = 0;
+        for (_, account) in self.portal.unix_accounts(subject) {
+            jobs_cancelled += self.scheduler.cancel_user_jobs(&account);
+            self.login_node.set_locked(&account, true);
+        }
+
+        self.emit(
+            "sec/siem",
+            EventKind::KillSwitch,
+            subject,
+            format!(
+                "kill chain: bastion={bastion_sessions_cut} shells={shells_cut} \
+                 notebooks={notebooks_cut} jobs={jobs_cancelled}"
+            ),
+            Severity::Critical,
+        );
+        KillReport {
+            subject: subject.to_string(),
+            broker_revoked: true,
+            proxy_suspended,
+            bastion_sessions_cut,
+            shells_cut,
+            notebooks_cut,
+            jobs_cancelled,
+            at_ms,
+        }
+    }
+
+    /// Reverse a user kill (post-incident reinstatement).
+    pub fn reinstate_user(&self, subject: &str) {
+        self.broker.reinstate_subject(subject);
+        let _ = self.proxy.set_suspended(subject, false);
+        self.bastion.unblock_user(subject);
+        for (_, account) in self.portal.unix_accounts(subject) {
+            self.login_node.set_locked(&account, false);
+        }
+    }
+
+    /// The extreme measure: shut down the entire bastion service.
+    /// Returns severed session count.
+    pub fn kill_bastion(&self) -> usize {
+        let n = self.bastion.global_kill();
+        self.emit(
+            "sec/siem",
+            EventKind::KillSwitch,
+            "sws/bastion",
+            format!("bastion global kill, {n} sessions severed"),
+            Severity::Critical,
+        );
+        n
+    }
+
+    /// Shut down the admin tailnet.
+    pub fn kill_tailnet(&self) {
+        self.tailnet.kill();
+        self.emit(
+            "sec/siem",
+            EventKind::KillSwitch,
+            "tailnet",
+            "management tailnet disabled",
+            Severity::Critical,
+        );
+    }
+
+    /// Close every Zenith tunnel. Returns closed tunnel count.
+    pub fn kill_tunnels(&self) -> usize {
+        let n = self.tunnel.close_all();
+        self.emit(
+            "sec/siem",
+            EventKind::KillSwitch,
+            "fds/zenith",
+            format!("{n} tunnels closed"),
+            Severity::Critical,
+        );
+        n
+    }
+
+    /// Apply a SIEM alert's recommendation automatically (the SOC
+    /// response playbook). Returns a description of the action taken.
+    pub fn respond_to_alert(&self, alert: &dri_siem::siem::Alert) -> String {
+        match alert.recommendation {
+            "suspend-subject" | "revoke-subject" => {
+                let report = self.kill_user(&alert.subject);
+                format!(
+                    "killed subject {}: {} live footholds severed",
+                    alert.subject,
+                    report.bastion_sessions_cut + report.shells_cut + report.notebooks_cut
+                )
+            }
+            "isolate-host" => {
+                self.network.isolate(&alert.subject);
+                format!("isolated host {}", alert.subject)
+            }
+            other => format!("no automated action for {other}"),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # dri-core — the federated SSO + zero-trust co-design
+//!
+//! This crate is the paper's contribution: it assembles every substrate
+//! (federation, broker, portal, SSH CA, segmented network, cluster, SIEM,
+//! policy engine) into the Fig. 1 architecture and exposes the workflows
+//! of §IV as a typed API.
+//!
+//! ```
+//! use dri_core::{Infrastructure, InfraConfig};
+//!
+//! let infra = Infrastructure::new(InfraConfig::default());
+//! // Provision a federated identity at the institutional IdP, then
+//! // onboard her as a PI through the full allocator -> invite ->
+//! // federated registration pipeline (user story 1):
+//! infra.create_federated_user("alice", "correct-horse");
+//! let pi = infra.story1_onboard_pi("climate-llm", "alice", 1_000.0).unwrap();
+//! assert!(infra.portal.project(&pi.project_id).is_some());
+//! ```
+//!
+//! Key entry points:
+//! * [`Infrastructure::new`] — build the whole co-design from a config;
+//! * `story1_…` to `story6_…` — the six user stories, end to end;
+//! * [`Infrastructure::kill_user`] — the coordinated kill switch;
+//! * [`Infrastructure::reachability_matrix`] — the E1 segmentation map;
+//! * [`Infrastructure::tenet_audit`] — the E15 seven-tenet audit;
+//! * [`dri_core::ablation`](ablation) — the perimeter-model baseline for E10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod compliance;
+pub mod config;
+pub mod flows;
+pub mod infra;
+pub mod killswitch;
+pub mod metrics;
+pub mod stories;
+pub mod users;
+
+pub use config::InfraConfig;
+pub use flows::FlowError;
+pub use infra::{Infrastructure, BROKER_ENTITY, PROXY_ENTITY, UNIVERSITY_IDP};
+pub use killswitch::KillReport;
+pub use metrics::MetricsSnapshot;
+pub use stories::{
+    AdminOutcome, JupyterOutcome, PiOutcome, ResearcherOutcome, SshOutcome,
+};
+pub use users::{SimUser, UserKind};

@@ -1,0 +1,118 @@
+//! A structured metrics snapshot across every subsystem — the
+//! "increased telemetry needed for introducing DevSecOps" the paper's
+//! conclusion calls for.
+
+use crate::infra::Infrastructure;
+
+/// A point-in-time operational snapshot of the whole co-design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Simulated time (ms).
+    pub at_ms: u64,
+    // Identity layer.
+    /// Community accounts registered at the proxy.
+    pub community_accounts: usize,
+    /// Live broker sessions.
+    pub broker_sessions: usize,
+    /// Tokens issued since start.
+    pub tokens_issued: u64,
+    // Portal.
+    /// Projects (all states).
+    pub projects: usize,
+    // Access layer.
+    /// Live bastion relay sessions.
+    pub bastion_sessions: usize,
+    /// Healthy bastion instances.
+    pub bastion_healthy_instances: usize,
+    /// Enrolled tailnet nodes.
+    pub tailnet_nodes: usize,
+    // HPC layer.
+    /// Live shell sessions.
+    pub shell_sessions: usize,
+    /// Live notebook sessions.
+    pub notebook_sessions: usize,
+    /// (pending, running) batch jobs.
+    pub queue_depth: (usize, usize),
+    /// Provisioned UNIX accounts on the login node.
+    pub unix_accounts: usize,
+    // Security layer.
+    /// Events ingested by the SIEM.
+    pub siem_events: u64,
+    /// Alerts raised.
+    pub siem_alerts: usize,
+    /// Assets in the inventory.
+    pub inventory_assets: usize,
+    /// Open vulnerability findings.
+    pub vuln_findings: usize,
+    /// PDP consultations.
+    pub pdp_consultations: u64,
+}
+
+impl Infrastructure {
+    /// Capture a metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            at_ms: self.clock.now_ms(),
+            community_accounts: self.proxy.account_count(),
+            broker_sessions: self.broker.session_count(),
+            tokens_issued: self.broker.tokens_issued(),
+            projects: self.portal.project_count(),
+            bastion_sessions: self.bastion.session_count(),
+            bastion_healthy_instances: self.bastion.healthy_instances(),
+            tailnet_nodes: self.tailnet.node_count(),
+            shell_sessions: self.login_node.session_count(),
+            notebook_sessions: self.jupyter.session_count(),
+            queue_depth: self.scheduler.queue_depth(),
+            unix_accounts: self.login_node.account_count(),
+            siem_events: self.siem.events_ingested(),
+            siem_alerts: self.siem.alerts().len(),
+            inventory_assets: self.inventory.asset_count(),
+            vuln_findings: self.inventory.scan().len(),
+            pdp_consultations: self.pdp_consultation_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InfraConfig;
+
+    #[test]
+    fn metrics_track_activity() {
+        let infra = Infrastructure::new(InfraConfig::default());
+        let before = infra.metrics();
+        assert_eq!(before.broker_sessions, 0);
+        assert_eq!(before.shell_sessions, 0);
+
+        infra.create_federated_user("alice", "pw");
+        infra.story1_onboard_pi("p", "alice", 10.0).unwrap();
+        infra.story4_ssh_connect("alice", "p").unwrap();
+        infra.story6_jupyter("alice", "p", "198.51.100.2").unwrap();
+
+        let after = infra.metrics();
+        assert_eq!(after.community_accounts, 1);
+        assert_eq!(after.broker_sessions, 1);
+        assert_eq!(after.projects, 1);
+        assert_eq!(after.shell_sessions, 1);
+        assert_eq!(after.notebook_sessions, 1);
+        assert_eq!(after.queue_depth.1, 1);
+        assert!(after.tokens_issued >= 2);
+        assert!(after.pdp_consultations >= 2);
+        assert!(after.siem_events > before.siem_events);
+    }
+
+    #[test]
+    fn kill_switch_reflected_in_metrics() {
+        let infra = Infrastructure::new(InfraConfig::default());
+        infra.create_federated_user("alice", "pw");
+        infra.story1_onboard_pi("p", "alice", 10.0).unwrap();
+        infra.story4_ssh_connect("alice", "p").unwrap();
+        let subject = infra.subject_of("alice").unwrap();
+        infra.kill_user(&subject);
+        let m = infra.metrics();
+        assert_eq!(m.bastion_sessions, 0);
+        assert_eq!(m.shell_sessions, 0);
+        assert_eq!(m.broker_sessions, 0);
+    }
+}

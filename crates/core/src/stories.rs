@@ -1,0 +1,597 @@
+//! The six user stories of §IV-A, end to end.
+//!
+//! Each story returns an outcome struct carrying a `trace`: the ordered
+//! list of protocol steps that executed. The E2/E9 experiments report
+//! step counts as the deterministic "latency" metric, alongside
+//! wall-clock time from criterion.
+
+use dri_broker::authz::AuthorizationSource;
+use dri_crypto::json::Value;
+use dri_netsim::bastion::RelaySession;
+use dri_netsim::tailnet::TailnetNode;
+use dri_netsim::tunnel::HttpRequest;
+use dri_cluster::login::ShellSession;
+use dri_cluster::mgmt::{MgmtOp, TransportPath};
+use dri_cluster::jupyter::NotebookSession;
+use dri_policy::trust::{AccessRequest, DevicePosture, Sensitivity, SourceZone};
+use dri_portal::project::{Allocation, DataClass};
+use dri_siem::events::{EventKind, Severity};
+use dri_sshca::client::SshCertClient;
+
+use crate::flows::FlowError;
+use crate::infra::Infrastructure;
+
+/// Outcome of user story 1 (PI onboarding).
+#[derive(Debug, Clone)]
+pub struct PiOutcome {
+    /// The created project.
+    pub project_id: String,
+    /// The PI's community id.
+    pub cuid: String,
+    /// The PI's broker session.
+    pub session_id: String,
+    /// The minted per-project UNIX account.
+    pub unix_account: String,
+    /// Executed protocol steps.
+    pub trace: Vec<&'static str>,
+}
+
+/// Outcome of user story 2 (admin registration).
+#[derive(Debug, Clone)]
+pub struct AdminOutcome {
+    /// The admin subject (`admin:name`).
+    pub subject: String,
+    /// The admin's broker session.
+    pub session_id: String,
+    /// Executed protocol steps.
+    pub trace: Vec<&'static str>,
+}
+
+/// Outcome of user story 3 (researcher onboarding).
+#[derive(Debug, Clone)]
+pub struct ResearcherOutcome {
+    /// The researcher's community id.
+    pub cuid: String,
+    /// Their broker session.
+    pub session_id: String,
+    /// The minted per-project UNIX account.
+    pub unix_account: String,
+    /// Executed protocol steps.
+    pub trace: Vec<&'static str>,
+}
+
+/// Outcome of user story 4 (SSH connection).
+#[derive(Debug, Clone)]
+pub struct SshOutcome {
+    /// The bastion relay session.
+    pub relay: RelaySession,
+    /// The shell session on the login node.
+    pub shell: ShellSession,
+    /// Serial of the certificate used.
+    pub cert_serial: u64,
+    /// Executed protocol steps.
+    pub trace: Vec<&'static str>,
+}
+
+/// Outcome of user story 5 (privileged operation).
+#[derive(Debug, Clone)]
+pub struct PrivilegedOpOutcome {
+    /// The op result detail.
+    pub detail: String,
+    /// Executed protocol steps.
+    pub trace: Vec<&'static str>,
+}
+
+/// Outcome of user story 6 (Jupyter).
+#[derive(Debug, Clone)]
+pub struct JupyterOutcome {
+    /// The spawned notebook session.
+    pub notebook: NotebookSession,
+    /// Executed protocol steps.
+    pub trace: Vec<&'static str>,
+}
+
+impl Infrastructure {
+    /// **User story 1** — an allocator creates a project and invites a
+    /// PI; the PI registers via the federation (authorisation-led) and
+    /// ends with a broker session and a per-project UNIX account.
+    ///
+    /// `pi_label` must be an existing federated or last-resort user.
+    pub fn story1_onboard_pi(
+        &self,
+        project_name: &str,
+        pi_label: &str,
+        gpu_hours: f64,
+    ) -> Result<PiOutcome, FlowError> {
+        let mut trace = Vec::with_capacity(8);
+
+        // Allocator creates the project and the PI invitation.
+        let now = self.clock.now_secs();
+        let (project_id, invitation) = self
+            .portal
+            .create_project(
+                "admin:ops",
+                project_name,
+                Allocation::gpu(gpu_hours),
+                now,
+                now + 90 * 24 * 3600,
+                &format!("{pi_label}@example.org"),
+            )
+            .map_err(FlowError::Portal)?;
+        trace.push("allocator: create project + PI invitation");
+
+        // PI registers at MyAccessID (works even though not yet authorised).
+        let cuid = self.establish_identity(pi_label, &mut trace)?;
+
+        // PI accepts the invitation (T&C acceptance included).
+        let membership = self
+            .portal
+            .accept_invitation(&invitation.token, &cuid, true)
+            .map_err(FlowError::Portal)?;
+        trace.push("portal: accept invitation + T&C");
+
+        // Provision the UNIX account on the login node.
+        self.login_node
+            .provision_account(&membership.unix_account, project_name);
+        trace.push("login node: provision unix account");
+
+        // Now the broker session succeeds (authorisation exists).
+        let session = self.login_as(pi_label)?;
+        trace.push("broker: establish session");
+
+        Ok(PiOutcome {
+            project_id,
+            cuid,
+            session_id: session,
+            unix_account: membership.unix_account,
+            trace,
+        })
+    }
+
+    /// **User story 2** — a BriCS admin registers an administrators-only
+    /// account: hardware-key registration, human vetting, per-service
+    /// grants (no global admin), then a hardware-key login.
+    pub fn story2_register_admin(&self, label: &str) -> Result<AdminOutcome, FlowError> {
+        let mut trace = Vec::with_capacity(6);
+        self.create_admin(label, &format!("{label}-initial-password"));
+        trace.push("admin idp: register account + enrol hardware key");
+
+        // The human check (user story 2: "at least one human check").
+        self.admin_idp
+            .vet_user(label)
+            .map_err(FlowError::ManagedIdp)?;
+        trace.push("ops: human identity vetting");
+
+        let subject = format!("admin:{label}");
+        // Per-service grants — explicitly not a global admin bit.
+        self.portal.grant_admin(&subject, "mgmt-tailnet", &["sysadmin"]);
+        self.portal.grant_admin(&subject, "mgmt-cluster", &["sysadmin"]);
+        self.mgmt.acl_add(&subject);
+        trace.push("portal: per-service admin grants");
+
+        let session = self.admin_login(label)?;
+        trace.push("admin idp: hardware-key login ceremony");
+        trace.push("broker: establish admin session");
+
+        Ok(AdminOutcome { subject, session_id: session.session_id, trace })
+    }
+
+    /// **User story 3** — a PI invites a researcher, who registers and
+    /// receives fewer privileges than the PI.
+    pub fn story3_onboard_researcher(
+        &self,
+        pi_label: &str,
+        project_id: &str,
+        project_name: &str,
+        researcher_label: &str,
+    ) -> Result<ResearcherOutcome, FlowError> {
+        let mut trace = Vec::with_capacity(8);
+        let pi_subject = self
+            .subject_of(pi_label)
+            .ok_or_else(|| FlowError::NotLoggedIn(pi_label.to_string()))?;
+
+        let invitation = self
+            .portal
+            .invite_researcher(
+                &pi_subject,
+                project_id,
+                &format!("{researcher_label}@example.org"),
+            )
+            .map_err(FlowError::Portal)?;
+        trace.push("portal: PI invites researcher");
+
+        let cuid = self.establish_identity(researcher_label, &mut trace)?;
+
+        let membership = self
+            .portal
+            .accept_invitation(&invitation.token, &cuid, true)
+            .map_err(FlowError::Portal)?;
+        trace.push("portal: accept invitation + T&C");
+
+        self.login_node
+            .provision_account(&membership.unix_account, project_name);
+        trace.push("login node: provision unix account");
+
+        let session = self.login_as(researcher_label)?;
+        trace.push("broker: establish session");
+
+        Ok(ResearcherOutcome {
+            cuid,
+            session_id: session,
+            unix_account: membership.unix_account,
+            trace,
+        })
+    }
+
+    /// **User story 4** — connect via SSH: device-flow certificate
+    /// issuance, transparent ProxyJump through the bastion, and a shell
+    /// on the login node under the per-project UNIX account.
+    pub fn story4_ssh_connect(
+        &self,
+        label: &str,
+        project_name: &str,
+    ) -> Result<SshOutcome, FlowError> {
+        let mut trace = Vec::with_capacity(10);
+        let session_id = self.session_of(label)?;
+
+        // PDP gate (tenet 4): dynamic decision before touching the CA.
+        // Official-class projects attract the Elevated threshold.
+        let sensitivity = self.project_sensitivity(label, project_name);
+        self.consult_pdp_for(label, "ssh-ca", sensitivity)?;
+        trace.push("pdp: dynamic access decision");
+
+        // Take the user's SSH client out (create on first use).
+        let mut client = {
+            let mut users = self.users.write();
+            let user = users
+                .get_mut(label)
+                .ok_or_else(|| FlowError::NoSuchUser(label.to_string()))?;
+            match user.ssh.take() {
+                Some(c) => c,
+                None => SshCertClient::new(&mut self.rng.lock()),
+            }
+        };
+
+        // Device flow + CA signing, approving with the user's session.
+        let result = client.obtain_certificate(
+            &self.oidc,
+            &self.ssh_ca,
+            "ssh-cert-cli",
+            "ai.isambard",
+            "sws/bastion",
+            "mdc/login01",
+            |user_code| {
+                let _ = self.oidc.approve_device(user_code, &session_id);
+            },
+        );
+        trace.push("oidc: device flow (user approves in browser)");
+        trace.push("ssh-ca: validate token + sign certificate");
+
+        let outcome = match result {
+            Ok(()) => {
+                let cert = client.certificate.clone().expect("cert present");
+                self.emit(
+                    "fds/ssh-ca",
+                    EventKind::CertIssued,
+                    &cert.key_id,
+                    format!("serial {} principals {:?}", cert.serial, cert.principals),
+                    Severity::Info,
+                );
+                let alias = client
+                    .alias_for(project_name)
+                    .cloned()
+                    .ok_or(FlowError::Ca(dri_sshca::ca::CaError::NoPrincipals))?;
+                trace.push("client: write ProxyJump ssh aliases");
+
+                // Relay via the bastion (network + cert checks inside).
+                let relay = self
+                    .bastion
+                    .relay(&self.network, "internet/user", "mdc/login01", &cert, &alias.user)
+                    .map_err(FlowError::Bastion)?;
+                trace.push("bastion: relay with certificate check");
+
+                // Login node: cert + possession proof.
+                let shell = self
+                    .login_node
+                    .open_session(&cert, &alias.user, |ch| client.sign_auth_challenge(ch))
+                    .map_err(FlowError::Login)?;
+                trace.push("login node: certificate + key possession check");
+
+                Ok(SshOutcome { relay, shell, cert_serial: cert.serial, trace })
+            }
+            Err(dri_sshca::client::ClientError::Device(e)) => Err(FlowError::Device(e)),
+            Err(dri_sshca::client::ClientError::Ca(e)) => Err(FlowError::Ca(e)),
+            Err(dri_sshca::client::ClientError::FlowStart) => {
+                Err(FlowError::Oidc(dri_broker::oidc::OidcError::UnknownClient(
+                    "ssh-cert-cli".into(),
+                )))
+            }
+        };
+
+        // Put the client back regardless of outcome.
+        if let Some(user) = self.users.write().get_mut(label) {
+            user.ssh = Some(client);
+        }
+        outcome
+    }
+
+    /// **User story 5** — a system administrator performs a privileged
+    /// operation: admin session → tailnet enrolment with an RBAC token →
+    /// encrypted command to the management plane → layered checks there.
+    pub fn story5_privileged_op(
+        &self,
+        label: &str,
+        op: MgmtOp,
+    ) -> Result<PrivilegedOpOutcome, FlowError> {
+        let mut trace = Vec::with_capacity(8);
+        let _session = self.session_of(label)?;
+
+        self.consult_pdp_for(label, "mgmt-cluster", Sensitivity::Critical)?;
+        trace.push("pdp: dynamic access decision (critical)");
+
+        // Token for tailnet enrolment.
+        let (tailnet_token, _) = self.token_for(label, "mgmt-tailnet", Vec::new())?;
+        trace.push("broker: issue mgmt-tailnet token");
+
+        // Enrol the admin's device.
+        let node_name = format!("{label}-laptop");
+        let node = TailnetNode::generate(&node_name, &mut self.rng.lock());
+        self.tailnet
+            .enroll(&node, &tailnet_token)
+            .map_err(FlowError::Tailnet)?;
+        trace.push("tailnet: enrol device with RBAC token");
+
+        // Encrypted command to the management endpoint.
+        let (frame, nonce) = self
+            .tailnet
+            .send(&node, "mdc-mgmt01", format!("{op:?}").as_bytes())
+            .map_err(FlowError::Tailnet)?;
+        // The management node decrypts (proves the channel works end-to-end).
+        let sender_pub = self
+            .tailnet
+            .public_key_of(&node_name)
+            .expect("node just enrolled");
+        let opened = self.mgmt_node.open_from(&sender_pub, &node_name, &nonce, &frame);
+        if opened.is_none() {
+            return Err(FlowError::Tailnet(
+                dri_netsim::tailnet::TailnetError::DecryptFailed,
+            ));
+        }
+        trace.push("tailnet: encrypted command to management plane");
+
+        // Cluster-level token + layered management-plane checks.
+        let (cluster_token, _) = self.token_for(label, "mgmt-cluster", Vec::new())?;
+        trace.push("broker: issue mgmt-cluster token");
+        let result = self
+            .mgmt
+            .execute(TransportPath::Tailnet, &cluster_token, op)
+            .map_err(FlowError::Mgmt)?;
+        trace.push("mgmt: transport + token + cluster-ACL checks");
+
+        self.emit(
+            "mdc/mgmt01",
+            EventKind::PrivilegedOp,
+            self.subject_of(label).as_deref().unwrap_or(label),
+            result.detail.clone(),
+            Severity::Info,
+        );
+        Ok(PrivilegedOpOutcome { detail: result.detail, trace })
+    }
+
+    /// **User story 6** — connect to a Jupyter notebook: edge → Zenith
+    /// tunnel → authenticator (token header validated against JWKS) →
+    /// notebook spawned on a compute node.
+    pub fn story6_jupyter(
+        &self,
+        label: &str,
+        project_name: &str,
+        source_ip: &str,
+    ) -> Result<JupyterOutcome, FlowError> {
+        let mut trace = Vec::with_capacity(8);
+        let _ = self.session_of(label)?;
+
+        let sensitivity = self.project_sensitivity(label, project_name);
+        self.consult_pdp_for(label, "jupyter", sensitivity)?;
+        trace.push("pdp: dynamic access decision");
+
+        // Find the user's unix account for this project.
+        let subject = self
+            .subject_of(label)
+            .ok_or_else(|| FlowError::NotLoggedIn(label.to_string()))?;
+        let account = self
+            .portal
+            .unix_accounts(&subject)
+            .into_iter()
+            .find(|(p, _)| p == project_name)
+            .map(|(_, a)| a)
+            .ok_or(FlowError::Jupyter(
+                dri_cluster::jupyter::JupyterError::NoAccount,
+            ))?;
+
+        // Token with the account + project claims.
+        let (token, _claims) = self.token_for(
+            label,
+            "jupyter",
+            vec![
+                ("unix_account".to_string(), Value::s(account)),
+                ("project".to_string(), Value::s(project_name)),
+            ],
+        )?;
+        trace.push("broker: issue jupyter token");
+
+        // Through the edge and the reverse tunnel.
+        let response = self
+            .edge
+            .handle(
+                &self.tunnel,
+                source_ip,
+                HttpRequest {
+                    path: "/jupyter".into(),
+                    headers: vec![("x-auth-token".into(), token)],
+                    body: Vec::new(),
+                },
+            )
+            .map_err(FlowError::Edge)?;
+        trace.push("edge: DDoS scoring + forward");
+        trace.push("zenith: encrypted reverse tunnel to authenticator");
+
+        if response.status != 200 {
+            return Err(FlowError::UnexpectedStatus(
+                response.status,
+                String::from_utf8_lossy(&response.body).to_string(),
+            ));
+        }
+        let session_id = String::from_utf8_lossy(&response.body).to_string();
+        let notebook = self
+            .jupyter
+            .session(&session_id)
+            .expect("spawned session exists");
+        trace.push("jupyter: token validated, notebook spawned");
+
+        self.emit(
+            "mdc/login01",
+            EventKind::NotebookSpawned,
+            &notebook.subject,
+            format!("notebook {} on job {}", notebook.id, notebook.job_id),
+            Severity::Info,
+        );
+        Ok(JupyterOutcome { notebook, trace })
+    }
+
+    // --- shared helpers ---------------------------------------------------------
+
+    /// Establish the user's community identity (route-dependent): for
+    /// federated users, register at the proxy; last-resort users already
+    /// carry their subject.
+    fn establish_identity(
+        &self,
+        label: &str,
+        trace: &mut Vec<&'static str>,
+    ) -> Result<String, FlowError> {
+        let is_federated = {
+            let users = self.users.read();
+            matches!(
+                users
+                    .get(label)
+                    .ok_or_else(|| FlowError::NoSuchUser(label.to_string()))?
+                    .kind,
+                crate::users::UserKind::Federated { .. }
+            )
+        };
+        if is_federated {
+            let (cuid, _wire) = self.proxy_authenticate(label)?;
+            trace.push("myaccessid: discovery + idp login + account registry");
+            Ok(cuid)
+        } else {
+            trace.push("last-resort idp: password + totp identity");
+            self.subject_of(label)
+                .ok_or_else(|| FlowError::NoSuchUser(label.to_string()))
+        }
+    }
+
+    /// Login with whichever route the user has.
+    fn login_as(&self, label: &str) -> Result<String, FlowError> {
+        let kind_is_federated = {
+            let users = self.users.read();
+            matches!(
+                users
+                    .get(label)
+                    .ok_or_else(|| FlowError::NoSuchUser(label.to_string()))?
+                    .kind,
+                crate::users::UserKind::Federated { .. }
+            )
+        };
+        let session = if kind_is_federated {
+            self.federated_login(label)?
+        } else {
+            self.last_resort_login(label)?
+        };
+        Ok(session.session_id)
+    }
+
+    /// The live session id of a user, or `NotLoggedIn`.
+    pub fn session_of(&self, label: &str) -> Result<String, FlowError> {
+        let users = self.users.read();
+        let user = users
+            .get(label)
+            .ok_or_else(|| FlowError::NoSuchUser(label.to_string()))?;
+        let sid = user
+            .session_id
+            .clone()
+            .ok_or_else(|| FlowError::NotLoggedIn(label.to_string()))?;
+        // The session must still be live *and unexpired* at the broker —
+        // an aged-out session means interactive re-authentication.
+        match self.broker.session(&sid) {
+            Some(s) if self.clock.now_secs() < s.expires_at => Ok(sid),
+            _ => Err(FlowError::NotLoggedIn(label.to_string())),
+        }
+    }
+
+    /// The PDP sensitivity implied by a project's data classification.
+    fn project_sensitivity(&self, label: &str, project_name: &str) -> Sensitivity {
+        let subject = match self.subject_of(label) {
+            Some(s) => s,
+            None => return Sensitivity::Standard,
+        };
+        let official = self
+            .portal
+            .active_projects_for(&subject)
+            .iter()
+            .any(|p| p.name == project_name && p.data_class == DataClass::Official);
+        if official {
+            Sensitivity::Elevated
+        } else {
+            Sensitivity::Standard
+        }
+    }
+
+    fn consult_pdp_for(
+        &self,
+        label: &str,
+        resource: &str,
+        sensitivity: Sensitivity,
+    ) -> Result<(), FlowError> {
+        let (subject, loa, acr, age) = {
+            let sid = self.session_of(label)?;
+            let session = self
+                .broker
+                .session(&sid)
+                .ok_or_else(|| FlowError::NotLoggedIn(label.to_string()))?;
+            (
+                session.subject.clone(),
+                session.loa,
+                session.acr.clone(),
+                self.clock.now_secs().saturating_sub(session.established_at),
+            )
+        };
+        let has_role = !self.portal.roles_for(&subject, resource).is_empty();
+        let device = if acr == "mfa-hw" {
+            DevicePosture::healthy()
+        } else {
+            DevicePosture::unknown()
+        };
+        let source = if acr == "mfa-hw" {
+            SourceZone::Management
+        } else {
+            SourceZone::Internet
+        };
+        let decision = self.pdp_decide(&AccessRequest {
+            subject,
+            loa,
+            acr,
+            device,
+            source,
+            session_age_secs: age,
+            resource: resource.to_string(),
+            sensitivity,
+            has_role,
+        });
+        if decision.allow {
+            Ok(())
+        } else {
+            Err(FlowError::PolicyDenied(
+                decision.reasons.first().cloned().unwrap_or_default(),
+            ))
+        }
+    }
+}

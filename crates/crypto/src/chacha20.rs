@@ -1,0 +1,151 @@
+//! ChaCha20 stream cipher (RFC 8439). Combined with [`crate::poly1305`]
+//! in [`crate::aead`] to form the ChaCha20-Poly1305 AEAD protecting the
+//! simulated WireGuard-style tailnet and Zenith tunnel frames.
+
+/// The ChaCha20 block function: 20 rounds over the 4×4 state.
+fn block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k"
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[i * 4],
+            key[i * 4 + 1],
+            key[i * 4 + 2],
+            key[i * 4 + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[i * 4],
+            nonce[i * 4 + 1],
+            nonce[i * 4 + 2],
+            nonce[i * 4 + 3],
+        ]);
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter(&mut working, 0, 4, 8, 12);
+        quarter(&mut working, 1, 5, 9, 13);
+        quarter(&mut working, 2, 6, 10, 14);
+        quarter(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter(&mut working, 0, 5, 10, 15);
+        quarter(&mut working, 1, 6, 11, 12);
+        quarter(&mut working, 2, 7, 8, 13);
+        quarter(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let v = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// XOR-encrypt (or decrypt — the cipher is symmetric) `data` in place,
+/// starting from block `counter`.
+pub fn xor_in_place(key: &[u8; 32], nonce: &[u8; 12], counter: u32, data: &mut [u8]) {
+    let mut ctr = counter;
+    for chunk in data.chunks_mut(64) {
+        let ks = block(key, ctr, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        ctr = ctr.wrapping_add(1);
+    }
+}
+
+/// Encrypt `plaintext`, returning a fresh ciphertext vector.
+pub fn encrypt(key: &[u8; 32], nonce: &[u8; 12], counter: u32, plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    xor_in_place(key, nonce, counter, &mut out);
+    out
+}
+
+/// Decrypt `ciphertext`, returning a fresh plaintext vector.
+pub fn decrypt(key: &[u8; 32], nonce: &[u8; 12], counter: u32, ciphertext: &[u8]) -> Vec<u8> {
+    encrypt(key, nonce, counter, ciphertext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block() {
+        let key = hex::decode_array::<32>(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .unwrap();
+        let nonce = hex::decode_array::<12>("000000090000004a00000000").unwrap();
+        let ks = block(&key, 1, &nonce);
+        assert_eq!(
+            hex::encode(&ks),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt() {
+        let key = hex::decode_array::<32>(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .unwrap();
+        let nonce = hex::decode_array::<12>("000000000000004a00000000").unwrap();
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+                          only one tip for the future, sunscreen would be it.";
+        let ct = encrypt(&key, &nonce, 1, plaintext);
+        assert_eq!(
+            hex::encode(&ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d"
+        );
+        assert_eq!(decrypt(&key, &nonce, 1, &ct), plaintext);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let key = [9u8; 32];
+        let nonce = [3u8; 12];
+        for n in [0usize, 1, 63, 64, 65, 200] {
+            let data: Vec<u8> = (0..n as u8).collect();
+            let ct = encrypt(&key, &nonce, 0, &data);
+            assert_eq!(decrypt(&key, &nonce, 0, &ct), data, "len {n}");
+            if n > 0 {
+                assert_ne!(ct, data);
+            }
+        }
+    }
+
+    #[test]
+    fn different_nonce_different_keystream() {
+        let key = [1u8; 32];
+        let ct1 = encrypt(&key, &[0u8; 12], 0, &[0u8; 64]);
+        let ct2 = encrypt(&key, &[1u8; 12], 0, &[0u8; 64]);
+        assert_ne!(ct1, ct2);
+    }
+}

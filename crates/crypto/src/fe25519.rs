@@ -1,0 +1,379 @@
+//! Arithmetic in GF(2^255 − 19), the base field of Curve25519 / edwards25519.
+//!
+//! Elements are held as four 64-bit little-endian limbs, always reduced to
+//! `[0, p)` after every public operation. Multiplication uses schoolbook
+//! 4×4 limb products accumulated in `u128`, followed by the standard
+//! `2^256 ≡ 38 (mod p)` fold. This is variable-time, which is acceptable
+//! for the simulation-grade purposes of this crate.
+
+/// p = 2^255 − 19 as little-endian u64 limbs.
+pub const P: [u64; 4] = [
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+/// An element of GF(2^255 − 19), kept fully reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fe(pub [u64; 4]);
+
+// Explicit arithmetic method names (`add`, `sub`, `mul`, `neg`) are
+// deliberate here: operator overloading would hide the cost and the
+// variable-time nature of these operations.
+#[allow(clippy::should_implement_trait)]
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0]);
+
+    /// Construct from little-endian bytes, ignoring the top bit (RFC 7748
+    /// / 8032 convention) and reducing mod p.
+    pub fn from_bytes(b: &[u8; 32]) -> Fe {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&b[i * 8..i * 8 + 8]);
+            limbs[i] = u64::from_le_bytes(chunk);
+        }
+        limbs[3] &= 0x7fff_ffff_ffff_ffff;
+        let mut fe = Fe(limbs);
+        fe.reduce_once();
+        fe
+    }
+
+    /// Serialize to 32 little-endian bytes (fully reduced, top bit clear).
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.0[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Subtract p once if the value is ≥ p.
+    fn reduce_once(&mut self) {
+        if geq(&self.0, &P) {
+            self.0 = sub_raw(&self.0, &P);
+        }
+    }
+
+    /// Field addition.
+    pub fn add(self, rhs: Fe) -> Fe {
+        let (sum, carry) = add_raw(&self.0, &rhs.0);
+        let mut v = sum;
+        if carry || geq(&v, &P) {
+            v = sub_raw(&v, &P);
+        }
+        Fe(v)
+    }
+
+    /// Field subtraction.
+    pub fn sub(self, rhs: Fe) -> Fe {
+        if geq(&self.0, &rhs.0) {
+            Fe(sub_raw(&self.0, &rhs.0))
+        } else {
+            // self - rhs + p
+            let (tmp, _carry) = add_raw(&self.0, &P);
+            Fe(sub_raw(&tmp, &rhs.0))
+        }
+    }
+
+    /// Field negation.
+    pub fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    pub fn mul(self, rhs: Fe) -> Fe {
+        // Schoolbook 4x4 -> 8 limbs with per-row carry propagation (a
+        // column-wise u128 accumulator can overflow with 4 summands).
+        let a = &self.0;
+        let b = &rhs.0;
+        let mut r = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let v = (a[i] as u128) * (b[j] as u128) + r[i + j] as u128 + carry;
+                r[i + j] = v as u64;
+                carry = v >> 64;
+            }
+            r[i + 4] = carry as u64;
+        }
+        reduce_wide(&r)
+    }
+
+    /// Field squaring.
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Multiply by a small constant.
+    pub fn mul_small(self, k: u64) -> Fe {
+        let a = &self.0;
+        let mut r = [0u64; 8];
+        let mut carry: u128 = 0;
+        for i in 0..4 {
+            let v = (a[i] as u128) * (k as u128) + carry;
+            r[i] = v as u64;
+            carry = v >> 64;
+        }
+        r[4] = carry as u64;
+        reduce_wide(&r)
+    }
+
+    /// Raise to the power given as 256-bit little-endian limbs
+    /// (square-and-multiply, variable time).
+    pub fn pow_limbs(self, exp: &[u64; 4]) -> Fe {
+        let mut acc = Fe::ONE;
+        // Process from the most significant bit downwards.
+        for i in (0..256).rev() {
+            acc = acc.square();
+            let limb = exp[i / 64];
+            if (limb >> (i % 64)) & 1 == 1 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat: a^(p−2).
+    pub fn invert(self) -> Fe {
+        // p - 2 = 2^255 - 21
+        const EXP: [u64; 4] = [
+            0xffff_ffff_ffff_ffeb,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x7fff_ffff_ffff_ffff,
+        ];
+        self.pow_limbs(&EXP)
+    }
+
+    /// a^((p−5)/8), the core of the combined sqrt/division used in
+    /// point decompression (RFC 8032 §5.1.3).
+    pub fn pow_p58(self) -> Fe {
+        // (p - 5) / 8 = (2^255 - 24) / 8 = 2^252 - 3
+        const EXP: [u64; 4] = [
+            0xffff_ffff_ffff_fffd,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x0fff_ffff_ffff_ffff,
+        ];
+        self.pow_limbs(&EXP)
+    }
+
+    /// True if the element is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Least significant bit of the canonical representation (the "sign"
+    /// bit used by point compression).
+    pub fn is_negative(self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// Conditional swap (variable time — simulation grade).
+    pub fn cswap(swap: bool, a: &mut Fe, b: &mut Fe) {
+        if swap {
+            std::mem::swap(a, b);
+        }
+    }
+}
+
+/// sqrt(-1) mod p, used in decompression. Precomputed constant.
+pub fn sqrt_m1() -> Fe {
+    // 2^((p-1)/4) mod p
+    const SQRT_M1: [u64; 4] = [
+        0xc4ee_1b27_4a0e_a0b0,
+        0x2f43_1806_ad2f_e478,
+        0x2b4d_0099_3dfb_d7a7,
+        0x2b83_2480_4fc1_df0b,
+    ];
+    Fe(SQRT_M1)
+}
+
+/// d = −121665/121666, the edwards25519 curve constant.
+pub fn curve_d() -> Fe {
+    const D: [u64; 4] = [
+        0x75eb_4dca_1359_78a3,
+        0x0070_0a4d_4141_d8ab,
+        0x8cc7_4079_7779_e898,
+        0x5203_6cee_2b6f_fe73,
+    ];
+    Fe(D)
+}
+
+fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+fn add_raw(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], bool) {
+    let mut out = [0u64; 4];
+    let mut carry = false;
+    for i in 0..4 {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        out[i] = s2;
+        carry = c1 || c2;
+    }
+    (out, carry)
+}
+
+fn sub_raw(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    let mut borrow = false;
+    for i in 0..4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow as u64);
+        out[i] = d2;
+        borrow = b1 || b2;
+    }
+    out
+}
+
+/// Reduce an 8-limb (512-bit) value mod p using 2^256 ≡ 38.
+fn reduce_wide(r: &[u64; 8]) -> Fe {
+    // lo + 38 * hi, at most 65 + 256 bits -> fits in 5 limbs.
+    let mut acc = [0u128; 5];
+    for i in 0..4 {
+        acc[i] += r[i] as u128;
+        acc[i] += (r[i + 4] as u128) * 38;
+    }
+    let mut limbs = [0u64; 5];
+    let mut carry: u128 = 0;
+    for i in 0..5 {
+        let v = acc[i] + carry;
+        limbs[i] = v as u64;
+        carry = v >> 64;
+    }
+    debug_assert_eq!(carry, 0);
+    // Second fold: limbs[4] * 2^256 ≡ limbs[4] * 38. Loop in case the
+    // addition itself wraps past 2^256 (then the wrap is worth another 38).
+    let mut lo = [limbs[0], limbs[1], limbs[2], limbs[3]];
+    let mut extra: u64 = limbs[4].wrapping_mul(38); // limbs[4] < 39, no overflow
+    while extra != 0 {
+        let mut carry: u64 = extra;
+        for limb in lo.iter_mut() {
+            let (v, c) = limb.overflowing_add(carry);
+            *limb = v;
+            carry = c as u64;
+            if carry == 0 {
+                break;
+            }
+        }
+        extra = carry * 38;
+    }
+    // Final: fold the top bit (2^255 ≡ 19) and reduce below p.
+    let top = lo[3] >> 63;
+    lo[3] &= 0x7fff_ffff_ffff_ffff;
+    let mut fe = Fe(lo);
+    if top == 1 {
+        fe = fe.add(Fe([19, 0, 0, 0]));
+    }
+    fe.reduce_once();
+    fe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(n: u64) -> Fe {
+        Fe([n, 0, 0, 0])
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = fe(123456789);
+        let b = fe(987654321);
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(a.sub(b).add(b), a);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let a = Fe([0xdead_beef, 0xcafe, 0x1234, 0x0fff]);
+        assert_eq!(a.add(a.neg()), Fe::ZERO);
+        assert_eq!(Fe::ZERO.neg(), Fe::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_small_cases() {
+        assert_eq!(fe(6).mul(fe(7)), fe(42));
+        assert_eq!(fe(0).mul(fe(7)), Fe::ZERO);
+        assert_eq!(fe(1).mul(fe(7)), fe(7));
+    }
+
+    #[test]
+    fn p_is_zero() {
+        let mut p = Fe(P);
+        p.reduce_once();
+        assert_eq!(p, Fe::ZERO);
+        // p - 1 + 2 == 1
+        let pm1 = Fe(P).sub(fe(1));
+        assert_eq!(pm1.add(fe(2)), fe(1));
+    }
+
+    #[test]
+    fn invert_small() {
+        for n in [1u64, 2, 3, 12345, 0xffff_ffff] {
+            let a = fe(n);
+            assert_eq!(a.mul(a.invert()), Fe::ONE, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = sqrt_m1();
+        assert_eq!(i.square(), Fe::ONE.neg());
+    }
+
+    #[test]
+    fn curve_d_definition() {
+        // d * 121666 == -121665
+        let d = curve_d();
+        assert_eq!(d.mul(fe(121666)), fe(121665).neg());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = Fe([0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210, 0xaaaa, 0x7000_0000_0000_0000]);
+        assert_eq!(Fe::from_bytes(&a.to_bytes()), a);
+    }
+
+    #[test]
+    fn from_bytes_reduces() {
+        // 2^255 - 19 (i.e. p) encodes to zero once the high bit handling
+        // and reduction are applied; p-1 stays p-1.
+        let mut b = [0xffu8; 32];
+        b[31] = 0x7f;
+        // This is 2^255 - 1 = p + 18 -> reduces to 18.
+        assert_eq!(Fe::from_bytes(&b), fe(18));
+    }
+
+    #[test]
+    fn mul_small_matches_mul() {
+        let a = Fe([u64::MAX, u64::MAX, u64::MAX, 0x7fff_ffff_ffff_ffff]);
+        assert_eq!(a.mul_small(38), a.mul(fe(38)));
+        assert_eq!(a.mul_small(121666), a.mul(fe(121666)));
+    }
+
+    #[test]
+    fn pow_limbs_matches_repeated_mul() {
+        let a = fe(3);
+        // 3^10 = 59049
+        assert_eq!(a.pow_limbs(&[10, 0, 0, 0]), fe(59049));
+        assert_eq!(a.pow_limbs(&[0, 0, 0, 0]), Fe::ONE);
+        assert_eq!(a.pow_limbs(&[1, 0, 0, 0]), a);
+    }
+}

@@ -1,0 +1,111 @@
+//! Lowercase hex encoding / decoding.
+
+/// Encode bytes as lowercase hex.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Decode a hex string (upper- or lowercase). Fails on odd length or
+/// non-hex characters.
+pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(HexError::OddLength);
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = val(pair[0]).ok_or(HexError::InvalidChar(pair[0] as char))?;
+        let lo = val(pair[1]).ok_or(HexError::InvalidChar(pair[1] as char))?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Decode exactly `N` bytes of hex.
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], HexError> {
+    let v = decode(s)?;
+    if v.len() != N {
+        return Err(HexError::WrongLength { want: N, got: v.len() });
+    }
+    let mut out = [0u8; N];
+    out.copy_from_slice(&v);
+    Ok(out)
+}
+
+/// Errors from hex decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// Input length was odd.
+    OddLength,
+    /// A character outside `[0-9a-fA-F]` was found.
+    InvalidChar(char),
+    /// Decoded length differed from the requested fixed size.
+    WrongLength {
+        /// Expected byte count.
+        want: usize,
+        /// Actual byte count.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for HexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HexError::OddLength => write!(f, "odd-length hex string"),
+            HexError::InvalidChar(c) => write!(f, "invalid hex character {c:?}"),
+            HexError::WrongLength { want, got } => {
+                write!(f, "expected {want} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00, 0x01, 0x7f, 0x80, 0xff];
+        let s = encode(&data);
+        assert_eq!(s, "00017f80ff");
+        assert_eq!(decode(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("DEADBEEF").unwrap(), [0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decode("abc"), Err(HexError::OddLength));
+        assert_eq!(decode("zz"), Err(HexError::InvalidChar('z')));
+        assert!(matches!(
+            decode_array::<4>("0011"),
+            Err(HexError::WrongLength { want: 4, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,114 @@
+//! HMAC (RFC 2104) over SHA-256 and SHA-512, verified against RFC 4231.
+
+use crate::sha2::{sha256, sha512, Sha256, Sha512};
+
+/// HMAC-SHA-256 of `msg` under `key`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; 64];
+    if key.len() > 64 {
+        k[..32].copy_from_slice(&sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// HMAC-SHA-512 of `msg` under `key`.
+pub fn hmac_sha512(key: &[u8], msg: &[u8]) -> [u8; 64] {
+    let mut k = [0u8; 128];
+    if key.len() > 128 {
+        k[..64].copy_from_slice(&sha512(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha512::new();
+    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha512::new();
+    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Verify an HMAC-SHA-256 tag in (best-effort) constant time.
+pub fn verify_hmac_sha256(key: &[u8], msg: &[u8], tag: &[u8]) -> bool {
+    crate::ct_eq(&hmac_sha256(key, msg), tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let msg = b"Hi There";
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, msg)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hex::encode(&hmac_sha512(&key, msg)),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    // RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex::encode(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaa; 20];
+        let msg = [0xdd; 50];
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, &msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than block size.
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaa; 131];
+        let msg = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, msg)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_rejects_tampered_tag() {
+        let tag = hmac_sha256(b"key", b"message");
+        assert!(verify_hmac_sha256(b"key", b"message", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!verify_hmac_sha256(b"key", b"message", &bad));
+        assert!(!verify_hmac_sha256(b"key2", b"message", &tag));
+        assert!(!verify_hmac_sha256(b"key", b"message ", &tag));
+    }
+}

@@ -1,0 +1,451 @@
+//! JSON Web Tokens with `EdDSA` (Ed25519) and `HS256` algorithms.
+//!
+//! These are the short-lived RBAC tokens at the heart of the paper's
+//! design: every service-to-service and user-to-service access in the
+//! simulated infrastructure is gated on one of these, and validation is a
+//! real signature check plus `exp`/`nbf`/`aud`/`iss` claim enforcement.
+
+use crate::base64::{decode_url, encode_url};
+use crate::ed25519::{SigningKey, VerifyingKey};
+use crate::hmac::{hmac_sha256, verify_hmac_sha256};
+use crate::json::Value;
+
+/// Supported JWS algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Ed25519 signatures (asymmetric; used for all broker-issued tokens).
+    EdDSA,
+    /// HMAC-SHA-256 (symmetric; used for internal service tokens).
+    HS256,
+}
+
+impl Algorithm {
+    fn as_str(self) -> &'static str {
+        match self {
+            Algorithm::EdDSA => "EdDSA",
+            Algorithm::HS256 => "HS256",
+        }
+    }
+}
+
+/// Registered + custom claims carried by a token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Claims {
+    /// Issuer (`iss`).
+    pub issuer: String,
+    /// Subject (`sub`) — the persistent unique user identifier.
+    pub subject: String,
+    /// Audience (`aud`) — the service this token is scoped to. Tokens are
+    /// per-service in this design; there is no global token.
+    pub audience: String,
+    /// Expiry (`exp`), seconds since the simulation epoch.
+    pub expires_at: u64,
+    /// Not-before (`nbf`), seconds since the simulation epoch.
+    pub not_before: u64,
+    /// Issued-at (`iat`).
+    pub issued_at: u64,
+    /// Token id (`jti`) for replay detection / revocation.
+    pub token_id: String,
+    /// Roles granted (`roles`) — the RBAC payload.
+    pub roles: Vec<String>,
+    /// Session id binding the token to an authenticated session (`sid`).
+    pub session_id: String,
+    /// Authentication context class (`acr`), e.g. "mfa-hw", "mfa-totp", "pwd".
+    pub acr: String,
+    /// Additional claims (project ids, unix accounts, …).
+    pub extra: Vec<(String, Value)>,
+}
+
+impl Claims {
+    /// A minimal claims set; extend via the public fields.
+    pub fn new(
+        issuer: impl Into<String>,
+        subject: impl Into<String>,
+        audience: impl Into<String>,
+        issued_at: u64,
+        ttl_secs: u64,
+    ) -> Claims {
+        Claims {
+            issuer: issuer.into(),
+            subject: subject.into(),
+            audience: audience.into(),
+            expires_at: issued_at + ttl_secs,
+            not_before: issued_at,
+            issued_at,
+            token_id: String::new(),
+            roles: Vec::new(),
+            session_id: String::new(),
+            acr: String::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut v = Value::obj([
+            ("iss", Value::s(&*self.issuer)),
+            ("sub", Value::s(&*self.subject)),
+            ("aud", Value::s(&*self.audience)),
+            ("exp", Value::u(self.expires_at)),
+            ("nbf", Value::u(self.not_before)),
+            ("iat", Value::u(self.issued_at)),
+            ("jti", Value::s(&*self.token_id)),
+            ("sid", Value::s(&*self.session_id)),
+            ("acr", Value::s(&*self.acr)),
+            (
+                "roles",
+                Value::Arr(self.roles.iter().map(|r| Value::s(r.as_str())).collect()),
+            ),
+        ]);
+        for (k, val) in &self.extra {
+            v.set(k.clone(), val.clone());
+        }
+        v
+    }
+
+    fn from_value(v: &Value) -> Result<Claims, JwtError> {
+        let get_s = |k: &str| -> String {
+            v.get(k).and_then(Value::as_str).unwrap_or_default().to_string()
+        };
+        let get_u =
+            |k: &str| -> Option<u64> { v.get(k).and_then(Value::as_u64) };
+        let roles = v
+            .get("roles")
+            .and_then(Value::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|r| r.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let known = [
+            "iss", "sub", "aud", "exp", "nbf", "iat", "jti", "sid", "acr", "roles",
+        ];
+        let extra = match v {
+            Value::Obj(m) => m
+                .iter()
+                .filter(|(k, _)| !known.contains(&k.as_str()))
+                .map(|(k, val)| (k.clone(), val.clone()))
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(Claims {
+            issuer: get_s("iss"),
+            subject: get_s("sub"),
+            audience: get_s("aud"),
+            expires_at: get_u("exp").ok_or(JwtError::MissingClaim("exp"))?,
+            not_before: get_u("nbf").unwrap_or(0),
+            issued_at: get_u("iat").unwrap_or(0),
+            token_id: get_s("jti"),
+            session_id: get_s("sid"),
+            acr: get_s("acr"),
+            roles,
+            extra,
+        })
+    }
+
+    /// Look up an extra claim by name.
+    pub fn extra_claim(&self, key: &str) -> Option<&Value> {
+        self.extra.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// True if `role` is among the granted roles.
+    pub fn has_role(&self, role: &str) -> bool {
+        self.roles.iter().any(|r| r == role)
+    }
+}
+
+/// Key material used to sign a token.
+pub enum Signer<'a> {
+    /// Ed25519 (EdDSA).
+    Ed25519(&'a SigningKey),
+    /// HMAC-SHA-256 (HS256).
+    Hmac(&'a [u8]),
+}
+
+/// Key material used to verify a token.
+pub enum Verifier<'a> {
+    /// Ed25519 public key.
+    Ed25519(&'a VerifyingKey),
+    /// HMAC secret.
+    Hmac(&'a [u8]),
+}
+
+/// Sign `claims` into a compact JWS (`header.payload.signature`).
+///
+/// `kid` identifies the signing key in the issuer's JWKS.
+pub fn sign(claims: &Claims, signer: &Signer<'_>, kid: &str) -> String {
+    let alg = match signer {
+        Signer::Ed25519(_) => Algorithm::EdDSA,
+        Signer::Hmac(_) => Algorithm::HS256,
+    };
+    let header = Value::obj([
+        ("alg", Value::s(alg.as_str())),
+        ("typ", Value::s("JWT")),
+        ("kid", Value::s(kid)),
+    ]);
+    let signing_input = format!(
+        "{}.{}",
+        encode_url(header.to_json().as_bytes()),
+        encode_url(claims.to_value().to_json().as_bytes())
+    );
+    let sig = match signer {
+        Signer::Ed25519(sk) => sk.sign(signing_input.as_bytes()).to_vec(),
+        Signer::Hmac(key) => hmac_sha256(key, signing_input.as_bytes()).to_vec(),
+    };
+    format!("{signing_input}.{}", encode_url(&sig))
+}
+
+/// Expected-value checks applied during verification.
+#[derive(Debug, Clone, Default)]
+pub struct Validation {
+    /// Required issuer; empty = skip check.
+    pub issuer: String,
+    /// Required audience; empty = skip check.
+    pub audience: String,
+    /// Current simulation time (seconds) for `exp`/`nbf` enforcement.
+    pub now: u64,
+    /// Allowed clock skew in seconds.
+    pub leeway: u64,
+}
+
+/// Verify a compact JWS and return its claims.
+pub fn verify(
+    token: &str,
+    verifier: &Verifier<'_>,
+    validation: &Validation,
+) -> Result<Claims, JwtError> {
+    let mut parts = token.split('.');
+    let (h, p, s) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(h), Some(p), Some(s), None) => (h, p, s),
+        _ => return Err(JwtError::Malformed),
+    };
+    let header_bytes = decode_url(h).map_err(|_| JwtError::Malformed)?;
+    let header_json =
+        std::str::from_utf8(&header_bytes).map_err(|_| JwtError::Malformed)?;
+    let header = Value::parse(header_json).map_err(|_| JwtError::Malformed)?;
+    let alg = header.get("alg").and_then(Value::as_str).unwrap_or("");
+    let expected_alg = match verifier {
+        Verifier::Ed25519(_) => Algorithm::EdDSA,
+        Verifier::Hmac(_) => Algorithm::HS256,
+    };
+    // Pinning the algorithm to the key type forecloses alg-confusion attacks.
+    if alg != expected_alg.as_str() {
+        return Err(JwtError::AlgorithmMismatch);
+    }
+
+    let signing_input_len = h.len() + 1 + p.len();
+    let signing_input = &token[..signing_input_len];
+    let sig = decode_url(s).map_err(|_| JwtError::Malformed)?;
+    let ok = match verifier {
+        Verifier::Ed25519(pk) => {
+            if sig.len() != 64 {
+                return Err(JwtError::BadSignature);
+            }
+            let mut sig64 = [0u8; 64];
+            sig64.copy_from_slice(&sig);
+            pk.verify(signing_input.as_bytes(), &sig64)
+        }
+        Verifier::Hmac(key) => verify_hmac_sha256(key, signing_input.as_bytes(), &sig),
+    };
+    if !ok {
+        return Err(JwtError::BadSignature);
+    }
+
+    let payload_bytes = decode_url(p).map_err(|_| JwtError::Malformed)?;
+    let payload_json =
+        std::str::from_utf8(&payload_bytes).map_err(|_| JwtError::Malformed)?;
+    let payload = Value::parse(payload_json).map_err(|_| JwtError::Malformed)?;
+    let claims = Claims::from_value(&payload)?;
+
+    if !validation.issuer.is_empty() && claims.issuer != validation.issuer {
+        return Err(JwtError::WrongIssuer);
+    }
+    if !validation.audience.is_empty() && claims.audience != validation.audience {
+        return Err(JwtError::WrongAudience);
+    }
+    if validation.now + validation.leeway < claims.not_before {
+        return Err(JwtError::NotYetValid);
+    }
+    if validation.now >= claims.expires_at + validation.leeway {
+        return Err(JwtError::Expired);
+    }
+    Ok(claims)
+}
+
+/// Decode the `kid` header of a token without verifying it (used to pick
+/// the right key from a JWKS before full verification).
+pub fn peek_kid(token: &str) -> Option<String> {
+    let h = token.split('.').next()?;
+    let bytes = decode_url(h).ok()?;
+    let v = Value::parse(std::str::from_utf8(&bytes).ok()?).ok()?;
+    v.get("kid").and_then(Value::as_str).map(str::to_string)
+}
+
+/// JWT verification errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JwtError {
+    /// Structurally invalid token.
+    Malformed,
+    /// Signature check failed.
+    BadSignature,
+    /// Header algorithm does not match the verification key type.
+    AlgorithmMismatch,
+    /// `iss` mismatch.
+    WrongIssuer,
+    /// `aud` mismatch.
+    WrongAudience,
+    /// Token expired.
+    Expired,
+    /// `nbf` in the future.
+    NotYetValid,
+    /// Required claim absent.
+    MissingClaim(&'static str),
+}
+
+impl std::fmt::Display for JwtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JwtError::Malformed => write!(f, "malformed token"),
+            JwtError::BadSignature => write!(f, "signature verification failed"),
+            JwtError::AlgorithmMismatch => write!(f, "algorithm mismatch"),
+            JwtError::WrongIssuer => write!(f, "issuer mismatch"),
+            JwtError::WrongAudience => write!(f, "audience mismatch"),
+            JwtError::Expired => write!(f, "token expired"),
+            JwtError::NotYetValid => write!(f, "token not yet valid"),
+            JwtError::MissingClaim(c) => write!(f, "missing claim {c}"),
+        }
+    }
+}
+
+impl std::error::Error for JwtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_claims(now: u64) -> Claims {
+        let mut c = Claims::new("https://idbroker.fds.example", "wlcg-12345", "slurm", now, 900);
+        c.token_id = "jti-1".into();
+        c.session_id = "sess-1".into();
+        c.acr = "mfa-totp".into();
+        c.roles = vec!["researcher".into()];
+        c.extra.push(("project".into(), Value::s("brics-001")));
+        c
+    }
+
+    #[test]
+    fn eddsa_roundtrip() {
+        let sk = SigningKey::from_seed(&[1u8; 32]);
+        let claims = sample_claims(1000);
+        let token = sign(&claims, &Signer::Ed25519(&sk), "fds-key-1");
+        let got = verify(
+            &token,
+            &Verifier::Ed25519(&sk.verifying_key()),
+            &Validation { issuer: claims.issuer.clone(), audience: "slurm".into(), now: 1500, leeway: 0 },
+        )
+        .unwrap();
+        assert_eq!(got, claims);
+        assert!(got.has_role("researcher"));
+        assert_eq!(got.extra_claim("project").and_then(Value::as_str), Some("brics-001"));
+        assert_eq!(peek_kid(&token).as_deref(), Some("fds-key-1"));
+    }
+
+    #[test]
+    fn hs256_roundtrip() {
+        let claims = sample_claims(0);
+        let token = sign(&claims, &Signer::Hmac(b"shared-secret"), "svc-key");
+        let got = verify(
+            &token,
+            &Verifier::Hmac(b"shared-secret"),
+            &Validation { now: 100, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(got.subject, "wlcg-12345");
+    }
+
+    #[test]
+    fn expiry_and_nbf_enforced() {
+        let sk = SigningKey::from_seed(&[2u8; 32]);
+        let claims = sample_claims(1000); // valid [1000, 1900)
+        let token = sign(&claims, &Signer::Ed25519(&sk), "k");
+        let pk = sk.verifying_key();
+        let v = |now| Validation { now, ..Default::default() };
+        assert_eq!(
+            verify(&token, &Verifier::Ed25519(&pk), &v(999)),
+            Err(JwtError::NotYetValid)
+        );
+        assert!(verify(&token, &Verifier::Ed25519(&pk), &v(1000)).is_ok());
+        assert!(verify(&token, &Verifier::Ed25519(&pk), &v(1899)).is_ok());
+        assert_eq!(
+            verify(&token, &Verifier::Ed25519(&pk), &v(1900)),
+            Err(JwtError::Expired)
+        );
+    }
+
+    #[test]
+    fn audience_and_issuer_enforced() {
+        let sk = SigningKey::from_seed(&[3u8; 32]);
+        let token = sign(&sample_claims(0), &Signer::Ed25519(&sk), "k");
+        let pk = sk.verifying_key();
+        assert_eq!(
+            verify(
+                &token,
+                &Verifier::Ed25519(&pk),
+                &Validation { audience: "jupyter".into(), now: 1, ..Default::default() }
+            ),
+            Err(JwtError::WrongAudience)
+        );
+        assert_eq!(
+            verify(
+                &token,
+                &Verifier::Ed25519(&pk),
+                &Validation { issuer: "rogue".into(), now: 1, ..Default::default() }
+            ),
+            Err(JwtError::WrongIssuer)
+        );
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let sk = SigningKey::from_seed(&[4u8; 32]);
+        let token = sign(&sample_claims(0), &Signer::Ed25519(&sk), "k");
+        let parts: Vec<&str> = token.split('.').collect();
+        // Swap in an elevated-role payload, keep the original signature.
+        let mut claims = sample_claims(0);
+        claims.roles = vec!["admin".into()];
+        let forged_payload = encode_url(claims.to_value().to_json().as_bytes());
+        let forged = format!("{}.{}.{}", parts[0], forged_payload, parts[2]);
+        assert_eq!(
+            verify(
+                &forged,
+                &Verifier::Ed25519(&sk.verifying_key()),
+                &Validation { now: 1, ..Default::default() }
+            ),
+            Err(JwtError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn algorithm_confusion_rejected() {
+        // An HS256 token must not verify against an Ed25519 verifier and
+        // vice versa, even with "matching" key bytes.
+        let sk = SigningKey::from_seed(&[5u8; 32]);
+        let hs = sign(&sample_claims(0), &Signer::Hmac(sk.verifying_key().as_bytes()), "k");
+        assert_eq!(
+            verify(
+                &hs,
+                &Verifier::Ed25519(&sk.verifying_key()),
+                &Validation { now: 1, ..Default::default() }
+            ),
+            Err(JwtError::AlgorithmMismatch)
+        );
+    }
+
+    #[test]
+    fn malformed_tokens_rejected() {
+        let v = Validation { now: 1, ..Default::default() };
+        for bad in ["", "a.b", "a.b.c.d", "!!!.###.$$$", "aGk.aGk.aGk"] {
+            assert!(verify(bad, &Verifier::Hmac(b"k"), &v).is_err(), "{bad}");
+        }
+    }
+}

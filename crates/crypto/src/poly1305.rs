@@ -1,0 +1,214 @@
+//! Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Implemented with five 26-bit limbs in `u64`/`u128` arithmetic.
+//! Combined with ChaCha20 in [`crate::aead`] to form the real
+//! ChaCha20-Poly1305 AEAD used by the tailnet and tunnel substrates.
+
+/// Compute the Poly1305 tag of `msg` under a 32-byte one-time key.
+pub fn poly1305(key: &[u8; 32], msg: &[u8]) -> [u8; 16] {
+    // r with the required clamping.
+    let mut r = [0u32; 5];
+    let t0 = u32::from_le_bytes(key[0..4].try_into().unwrap());
+    let t1 = u32::from_le_bytes(key[4..8].try_into().unwrap());
+    let t2 = u32::from_le_bytes(key[8..12].try_into().unwrap());
+    let t3 = u32::from_le_bytes(key[12..16].try_into().unwrap());
+    r[0] = t0 & 0x03ff_ffff;
+    r[1] = ((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03;
+    r[2] = ((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff;
+    r[3] = ((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff;
+    r[4] = (t3 >> 8) & 0x000f_ffff;
+
+    let mut h = [0u64; 5];
+    let r64: [u64; 5] = [r[0] as u64, r[1] as u64, r[2] as u64, r[3] as u64, r[4] as u64];
+    // Precomputed 5*r for the reduction.
+    let s = [r64[1] * 5, r64[2] * 5, r64[3] * 5, r64[4] * 5];
+
+    for chunk in msg.chunks(16) {
+        // Load the block as five 26-bit limbs with the high bit set.
+        let mut block = [0u8; 17];
+        block[..chunk.len()].copy_from_slice(chunk);
+        block[chunk.len()] = 1;
+        let b0 = u32::from_le_bytes(block[0..4].try_into().unwrap());
+        let b1 = u32::from_le_bytes(block[4..8].try_into().unwrap());
+        let b2 = u32::from_le_bytes(block[8..12].try_into().unwrap());
+        let b3 = u32::from_le_bytes(block[12..16].try_into().unwrap());
+        let b4 = block[16] as u32;
+
+        h[0] += (b0 & 0x03ff_ffff) as u64;
+        h[1] += (((b0 >> 26) | (b1 << 6)) & 0x03ff_ffff) as u64;
+        h[2] += (((b1 >> 20) | (b2 << 12)) & 0x03ff_ffff) as u64;
+        h[3] += (((b2 >> 14) | (b3 << 18)) & 0x03ff_ffff) as u64;
+        h[4] += (((b3 >> 8) | (b4 << 24)) & 0x03ff_ffff) as u64;
+
+        // h *= r (mod 2^130 - 5), schoolbook with 5x fold.
+        let d0 = (h[0] as u128) * (r64[0] as u128)
+            + (h[1] as u128) * (s[3] as u128)
+            + (h[2] as u128) * (s[2] as u128)
+            + (h[3] as u128) * (s[1] as u128)
+            + (h[4] as u128) * (s[0] as u128);
+        let d1 = (h[0] as u128) * (r64[1] as u128)
+            + (h[1] as u128) * (r64[0] as u128)
+            + (h[2] as u128) * (s[3] as u128)
+            + (h[3] as u128) * (s[2] as u128)
+            + (h[4] as u128) * (s[1] as u128);
+        let d2 = (h[0] as u128) * (r64[2] as u128)
+            + (h[1] as u128) * (r64[1] as u128)
+            + (h[2] as u128) * (r64[0] as u128)
+            + (h[3] as u128) * (s[3] as u128)
+            + (h[4] as u128) * (s[2] as u128);
+        let d3 = (h[0] as u128) * (r64[3] as u128)
+            + (h[1] as u128) * (r64[2] as u128)
+            + (h[2] as u128) * (r64[1] as u128)
+            + (h[3] as u128) * (r64[0] as u128)
+            + (h[4] as u128) * (s[3] as u128);
+        let d4 = (h[0] as u128) * (r64[4] as u128)
+            + (h[1] as u128) * (r64[3] as u128)
+            + (h[2] as u128) * (r64[2] as u128)
+            + (h[3] as u128) * (r64[1] as u128)
+            + (h[4] as u128) * (r64[0] as u128);
+
+        // Carry propagation back to 26-bit limbs.
+        let mut c: u128;
+        let mut t = [0u64; 5];
+        c = d0 >> 26;
+        t[0] = (d0 as u64) & 0x03ff_ffff;
+        let d1 = d1 + c;
+        c = d1 >> 26;
+        t[1] = (d1 as u64) & 0x03ff_ffff;
+        let d2 = d2 + c;
+        c = d2 >> 26;
+        t[2] = (d2 as u64) & 0x03ff_ffff;
+        let d3 = d3 + c;
+        c = d3 >> 26;
+        t[3] = (d3 as u64) & 0x03ff_ffff;
+        let d4 = d4 + c;
+        c = d4 >> 26;
+        t[4] = (d4 as u64) & 0x03ff_ffff;
+        t[0] += (c as u64) * 5;
+        let carry = t[0] >> 26;
+        t[0] &= 0x03ff_ffff;
+        t[1] += carry;
+        h = t;
+    }
+
+    // Final reduction mod 2^130 - 5.
+    let mut carry = h[1] >> 26;
+    h[1] &= 0x03ff_ffff;
+    h[2] += carry;
+    carry = h[2] >> 26;
+    h[2] &= 0x03ff_ffff;
+    h[3] += carry;
+    carry = h[3] >> 26;
+    h[3] &= 0x03ff_ffff;
+    h[4] += carry;
+    carry = h[4] >> 26;
+    h[4] &= 0x03ff_ffff;
+    h[0] += carry * 5;
+    carry = h[0] >> 26;
+    h[0] &= 0x03ff_ffff;
+    h[1] += carry;
+
+    // Compute h + -p and select.
+    let mut g = [0u64; 5];
+    g[0] = h[0].wrapping_add(5);
+    carry = g[0] >> 26;
+    g[0] &= 0x03ff_ffff;
+    g[1] = h[1].wrapping_add(carry);
+    carry = g[1] >> 26;
+    g[1] &= 0x03ff_ffff;
+    g[2] = h[2].wrapping_add(carry);
+    carry = g[2] >> 26;
+    g[2] &= 0x03ff_ffff;
+    g[3] = h[3].wrapping_add(carry);
+    carry = g[3] >> 26;
+    g[3] &= 0x03ff_ffff;
+    g[4] = h[4].wrapping_add(carry).wrapping_sub(1 << 26);
+
+    // If g4's top bit clear, h >= p, use g.
+    if g[4] >> 63 == 0 {
+        h = g;
+    }
+
+    // Serialize h to 128 bits and add s (the second key half) mod 2^128.
+    let acc: u128 = (h[0] as u128)
+        | ((h[1] as u128) << 26)
+        | ((h[2] as u128) << 52)
+        | ((h[3] as u128) << 78)
+        | ((h[4] as u128) << 104);
+    let s_key = u128::from_le_bytes(key[16..32].try_into().unwrap());
+    let tag = acc.wrapping_add(s_key);
+    tag.to_le_bytes()
+}
+
+/// Verify a Poly1305 tag (best-effort constant time).
+pub fn verify_poly1305(key: &[u8; 32], msg: &[u8], tag: &[u8; 16]) -> bool {
+    crate::ct_eq(&poly1305(key, msg), tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_vector() {
+        let key = hex::decode_array::<32>(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .unwrap();
+        let msg = b"Cryptographic Forum Research Group";
+        assert_eq!(
+            hex::encode(&poly1305(&key, msg)),
+            "a8061dc1305136c6c22b8baf0c0127a9"
+        );
+    }
+
+    // RFC 8439 A.3 test vector #1: zero key, zero message.
+    #[test]
+    fn zero_key_zero_msg() {
+        let key = [0u8; 32];
+        let msg = [0u8; 64];
+        assert_eq!(poly1305(&key, &msg), [0u8; 16]);
+    }
+
+    // RFC 8439 A.3 test vector #2: r = 0, s = text tail.
+    #[test]
+    fn r_zero_tag_is_s() {
+        let mut key = [0u8; 32];
+        let s = hex::decode("36e5f6b5c5e06070f0efca96227a863e").unwrap();
+        key[16..].copy_from_slice(&s);
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        assert_eq!(
+            hex::encode(&poly1305(&key, msg)),
+            "36e5f6b5c5e06070f0efca96227a863e"
+        );
+    }
+
+    #[test]
+    fn tag_depends_on_every_byte() {
+        let key = [7u8; 32];
+        let msg = vec![1u8; 100];
+        let tag = poly1305(&key, &msg);
+        for i in [0usize, 50, 99] {
+            let mut bad = msg.clone();
+            bad[i] ^= 1;
+            assert_ne!(poly1305(&key, &bad), tag, "byte {i}");
+        }
+        assert!(verify_poly1305(&key, &msg, &tag));
+        let mut bad_tag = tag;
+        bad_tag[0] ^= 1;
+        assert!(!verify_poly1305(&key, &msg, &bad_tag));
+    }
+
+    #[test]
+    fn all_lengths_stable() {
+        let key = [3u8; 32];
+        for n in 0..48usize {
+            let msg = vec![0xa5u8; n];
+            let t1 = poly1305(&key, &msg);
+            let t2 = poly1305(&key, &msg);
+            assert_eq!(t1, t2, "len {n}");
+        }
+    }
+}

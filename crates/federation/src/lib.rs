@@ -1,0 +1,34 @@
+//! # dri-federation — identity federation substrate
+//!
+//! Simulates the inter-federation layer the paper builds on:
+//!
+//! * [`metadata`] — an eduGAIN-style metadata registry connecting identity
+//!   federations; entities carry categories (e.g. REFEDS Research &
+//!   Scholarship) and identity-vetting assurance levels (AARC LoA).
+//! * [`idp`] — institutional Identity Providers with user directories,
+//!   password + TOTP credentials, and signed (SAML-like) assertions.
+//! * [`proxy`] — a MyAccessID-style IdP proxy: discovery service, account
+//!   registry with *persistent unique community identifiers*, identity
+//!   linking, and assurance elevation. This is the "trusted IdP proxy" of
+//!   the paper's Fig. 1.
+//! * [`assertion`] — the signed-document format shared by IdPs and proxy.
+//!
+//! Wire formats are simplified (signed canonical JSON instead of SAML XML)
+//! but the trust topology, attribute release, audience restriction, expiry
+//! and assurance semantics match the real systems: every assertion is
+//! Ed25519-signed by its issuer and verified against federation metadata.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assertion;
+pub mod idp;
+pub mod metadata;
+pub mod proxy;
+pub mod types;
+
+pub use assertion::{Assertion, AssertionError};
+pub use idp::{AuthnError, IdentityProvider, UserRecord};
+pub use metadata::{EntityDescriptor, EntityKind, FederationRegistry};
+pub use proxy::{CommunityAccount, DiscoveryEntry, IdpProxy, ProxyError};
+pub use types::{Attribute, EntityCategory, LevelOfAssurance};

@@ -1,0 +1,157 @@
+//! Shared federation vocabulary: assurance levels, entity categories and
+//! released attributes.
+
+/// AARC / REFEDS-style identity assurance level.
+///
+/// The paper's MyAccessID deployment distinguishes levels of assurance and
+/// trust (LoA / LoT); HPC centres require stronger vetting than the
+/// eduGAIN baseline provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LevelOfAssurance {
+    /// Self-asserted identity (no vetting).
+    Low,
+    /// Institutionally vetted (typical university IdP).
+    Medium,
+    /// Strong vetting (documents checked, in-person / eIDAS / hardware MFA).
+    High,
+}
+
+impl LevelOfAssurance {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LevelOfAssurance::Low => "low",
+            LevelOfAssurance::Medium => "medium",
+            LevelOfAssurance::High => "high",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<LevelOfAssurance> {
+        match s {
+            "low" => Some(LevelOfAssurance::Low),
+            "medium" => Some(LevelOfAssurance::Medium),
+            "high" => Some(LevelOfAssurance::High),
+            _ => None,
+        }
+    }
+}
+
+/// Federation entity categories relevant to the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityCategory {
+    /// REFEDS Research & Scholarship — the *minimum* requirement for an
+    /// IdP to appear in the MyAccessID discovery list.
+    ResearchAndScholarship,
+    /// Sirtfi incident-response capability.
+    Sirtfi,
+    /// Anonymous-access category (never acceptable for HPC login).
+    Anonymous,
+}
+
+impl EntityCategory {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EntityCategory::ResearchAndScholarship => "research-and-scholarship",
+            EntityCategory::Sirtfi => "sirtfi",
+            EntityCategory::Anonymous => "anonymous",
+        }
+    }
+}
+
+/// An attribute released by an IdP about a subject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name (eduPerson vocabulary, e.g. `eduPersonPrincipalName`).
+    pub name: String,
+    /// Attribute value.
+    pub value: String,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Attribute {
+        Attribute { name: name.into(), value: value.into() }
+    }
+}
+
+/// The R&S attribute bundle a compliant IdP releases.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AttributeBundle {
+    /// `eduPersonPrincipalName` — scoped institutional identifier.
+    pub eppn: String,
+    /// Display name.
+    pub display_name: String,
+    /// Email address.
+    pub email: String,
+    /// `eduPersonScopedAffiliation` (e.g. `staff@bristol.ac.uk`).
+    pub affiliation: String,
+    /// Home organisation.
+    pub organisation: String,
+}
+
+impl AttributeBundle {
+    /// Flatten into named attributes for an assertion.
+    pub fn to_attributes(&self) -> Vec<Attribute> {
+        vec![
+            Attribute::new("eduPersonPrincipalName", &self.eppn),
+            Attribute::new("displayName", &self.display_name),
+            Attribute::new("mail", &self.email),
+            Attribute::new("eduPersonScopedAffiliation", &self.affiliation),
+            Attribute::new("schacHomeOrganization", &self.organisation),
+        ]
+    }
+
+    /// Rebuild from named attributes (ignores unknown names).
+    pub fn from_attributes(attrs: &[Attribute]) -> AttributeBundle {
+        let mut b = AttributeBundle::default();
+        for a in attrs {
+            match a.name.as_str() {
+                "eduPersonPrincipalName" => b.eppn = a.value.clone(),
+                "displayName" => b.display_name = a.value.clone(),
+                "mail" => b.email = a.value.clone(),
+                "eduPersonScopedAffiliation" => b.affiliation = a.value.clone(),
+                "schacHomeOrganization" => b.organisation = a.value.clone(),
+                _ => {}
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loa_ordering_supports_policy_minimums() {
+        assert!(LevelOfAssurance::High > LevelOfAssurance::Medium);
+        assert!(LevelOfAssurance::Medium > LevelOfAssurance::Low);
+    }
+
+    #[test]
+    fn loa_wire_roundtrip() {
+        for loa in [
+            LevelOfAssurance::Low,
+            LevelOfAssurance::Medium,
+            LevelOfAssurance::High,
+        ] {
+            assert_eq!(LevelOfAssurance::parse(loa.as_str()), Some(loa));
+        }
+        assert_eq!(LevelOfAssurance::parse("bogus"), None);
+    }
+
+    #[test]
+    fn attribute_bundle_roundtrip() {
+        let b = AttributeBundle {
+            eppn: "alice@bristol.ac.uk".into(),
+            display_name: "Alice".into(),
+            email: "alice@bristol.ac.uk".into(),
+            affiliation: "staff@bristol.ac.uk".into(),
+            organisation: "bristol.ac.uk".into(),
+        };
+        let attrs = b.to_attributes();
+        assert_eq!(AttributeBundle::from_attributes(&attrs), b);
+    }
+}

@@ -1,0 +1,253 @@
+//! The Cloudflare-style zero-trust edge in front of the tunnel server.
+//!
+//! Provides what the paper leans on Cloudflare tunnels for: the origin
+//! (FDS Kubernetes VPC) is never directly internet-accessible; the edge
+//! absorbs and blocks DDoS traffic via per-source rate scoring and a
+//! manual blocklist, and only clean requests are forwarded to the tunnel
+//! server.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dri_clock::SimClock;
+use parking_lot::RwLock;
+
+use crate::tunnel::{HttpRequest, HttpResponse, TunnelError, TunnelServer};
+
+/// Edge failures returned to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeError {
+    /// Source exceeded the rate threshold (DDoS mitigation).
+    RateLimited,
+    /// Source is on the blocklist.
+    Blocked,
+    /// The origin tunnel failed.
+    Origin(TunnelError),
+    /// Edge disabled (maintenance kill switch).
+    Down,
+}
+
+impl std::fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeError::RateLimited => write!(f, "rate limited"),
+            EdgeError::Blocked => write!(f, "source blocked"),
+            EdgeError::Origin(e) => write!(f, "origin error: {e}"),
+            EdgeError::Down => write!(f, "edge disabled"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {}
+
+struct EdgeState {
+    /// Sliding-window request timestamps per source.
+    windows: HashMap<String, VecDeque<u64>>,
+    blocklist: HashSet<String>,
+    auto_blocked: HashSet<String>,
+    down: bool,
+    served: u64,
+    rejected: u64,
+}
+
+/// The edge proxy.
+pub struct EdgeProxy {
+    clock: SimClock,
+    /// Window length for rate scoring (ms).
+    pub window_ms: u64,
+    /// Requests per window per source before mitigation kicks in.
+    pub threshold: usize,
+    state: RwLock<EdgeState>,
+}
+
+impl EdgeProxy {
+    /// Create an edge with a rate threshold of `threshold` requests per
+    /// `window_ms` per source.
+    pub fn new(clock: SimClock, window_ms: u64, threshold: usize) -> EdgeProxy {
+        EdgeProxy {
+            clock,
+            window_ms,
+            threshold,
+            state: RwLock::new(EdgeState {
+                windows: HashMap::new(),
+                blocklist: HashSet::new(),
+                auto_blocked: HashSet::new(),
+                down: false,
+                served: 0,
+                rejected: 0,
+            }),
+        }
+    }
+
+    /// Handle a request from `source` (an IP-like identifier), forwarding
+    /// to the tunnel-server origin when clean.
+    pub fn handle(
+        &self,
+        origin: &TunnelServer,
+        source: &str,
+        request: HttpRequest,
+    ) -> Result<HttpResponse, EdgeError> {
+        let now = self.clock.now_ms();
+        {
+            let mut state = self.state.write();
+            if state.down {
+                state.rejected += 1;
+                return Err(EdgeError::Down);
+            }
+            if state.blocklist.contains(source) || state.auto_blocked.contains(source) {
+                state.rejected += 1;
+                return Err(EdgeError::Blocked);
+            }
+            let window = state.windows.entry(source.to_string()).or_default();
+            while window.front().is_some_and(|t| now.saturating_sub(*t) > self.window_ms) {
+                window.pop_front();
+            }
+            window.push_back(now);
+            if window.len() > self.threshold {
+                // Automatic mitigation: block the source outright.
+                state.auto_blocked.insert(source.to_string());
+                state.rejected += 1;
+                return Err(EdgeError::RateLimited);
+            }
+            state.served += 1;
+        }
+        origin.handle(request).map_err(EdgeError::Origin)
+    }
+
+    /// Manually block a source.
+    pub fn block(&self, source: &str) {
+        self.state.write().blocklist.insert(source.to_string());
+    }
+
+    /// Unblock a source (manual or automatic block).
+    pub fn unblock(&self, source: &str) {
+        let mut state = self.state.write();
+        state.blocklist.remove(source);
+        state.auto_blocked.remove(source);
+    }
+
+    /// Maintenance kill switch.
+    pub fn set_down(&self, down: bool) {
+        self.state.write().down = down;
+    }
+
+    /// (served, rejected) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let s = self.state.read();
+        (s.served, s.rejected)
+    }
+
+    /// Sources currently auto-blocked by the rate scorer.
+    pub fn auto_blocked_count(&self) -> usize {
+        self.state.read().auto_blocked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Domain, Network, Selector, Zone};
+    use dri_clock::SimRng;
+    use dri_crypto::x25519;
+    use std::sync::Arc;
+
+    fn setup() -> (SimClock, EdgeProxy, TunnelServer) {
+        let clock = SimClock::new();
+        let net = Network::new(clock.clone());
+        net.add_host("mdc/login01", Domain::Mdc, Zone::Hpc, &[]);
+        net.add_host("fds/zenith", Domain::Fds, Zone::Access, &["zenith"]);
+        net.allow(
+            "mdc->zenith",
+            Selector::InDomain(Domain::Mdc),
+            Selector::Host("fds/zenith".into()),
+            "zenith",
+        );
+        let mut rng = SimRng::seed_from_u64(1);
+        let server = TunnelServer::new("fds/zenith", &mut rng, clock.clone());
+        let pk = x25519::clamp(rng.seed32());
+        server
+            .register_tunnel(
+                &net,
+                "mdc/login01",
+                &pk,
+                "/jupyter",
+                Arc::new(|_| HttpResponse { status: 200, body: b"ok".to_vec() }),
+            )
+            .unwrap();
+        let edge = EdgeProxy::new(clock.clone(), 1000, 10);
+        (clock, edge, server)
+    }
+
+    fn req() -> HttpRequest {
+        HttpRequest { path: "/jupyter".into(), headers: vec![], body: vec![] }
+    }
+
+    #[test]
+    fn clean_traffic_flows() {
+        let (_clock, edge, server) = setup();
+        let resp = edge.handle(&server, "198.51.100.7", req()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(edge.stats(), (1, 0));
+    }
+
+    #[test]
+    fn ddos_source_gets_auto_blocked() {
+        let (clock, edge, server) = setup();
+        // 10 requests within the window are fine.
+        for _ in 0..10 {
+            clock.advance(10);
+            edge.handle(&server, "203.0.113.9", req()).unwrap();
+        }
+        // The 11th trips mitigation.
+        assert_eq!(
+            edge.handle(&server, "203.0.113.9", req()),
+            Err(EdgeError::RateLimited)
+        );
+        // And the source stays blocked even after the window passes.
+        clock.advance(10_000);
+        assert_eq!(edge.handle(&server, "203.0.113.9", req()), Err(EdgeError::Blocked));
+        assert_eq!(edge.auto_blocked_count(), 1);
+        // Other sources are unaffected.
+        assert!(edge.handle(&server, "198.51.100.7", req()).is_ok());
+        // Until an operator unblocks.
+        edge.unblock("203.0.113.9");
+        assert!(edge.handle(&server, "203.0.113.9", req()).is_ok());
+    }
+
+    #[test]
+    fn slow_traffic_never_trips() {
+        let (clock, edge, server) = setup();
+        for _ in 0..50 {
+            clock.advance(200); // 5 rps, under 10-per-second threshold
+            edge.handle(&server, "198.51.100.8", req()).unwrap();
+        }
+        assert_eq!(edge.auto_blocked_count(), 0);
+    }
+
+    #[test]
+    fn manual_blocklist() {
+        let (_clock, edge, server) = setup();
+        edge.block("192.0.2.1");
+        assert_eq!(edge.handle(&server, "192.0.2.1", req()), Err(EdgeError::Blocked));
+        let (_, rejected) = edge.stats();
+        assert_eq!(rejected, 1);
+    }
+
+    #[test]
+    fn down_edge_rejects_everything() {
+        let (_clock, edge, server) = setup();
+        edge.set_down(true);
+        assert_eq!(edge.handle(&server, "198.51.100.7", req()), Err(EdgeError::Down));
+        edge.set_down(false);
+        assert!(edge.handle(&server, "198.51.100.7", req()).is_ok());
+    }
+
+    #[test]
+    fn origin_errors_propagate() {
+        let (_clock, edge, server) = setup();
+        server.close_tunnel("/jupyter");
+        assert_eq!(
+            edge.handle(&server, "198.51.100.7", req()),
+            Err(EdgeError::Origin(TunnelError::Closed))
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # dri-netsim — the segmented network substrate
+//!
+//! Models the paper's four operating domains (MDC, SWS, FDS, SEC) and
+//! NIST SP 800-223 zones (Access, Management, HPC, Data Storage,
+//! Security), with a default-deny firewall fabric between them. Every
+//! connection in the simulation traverses [`topology::Network::connect`],
+//! which enforces segmentation and records an auditable connection log —
+//! the raw material for the SIEM (E13) and the reachability-matrix
+//! experiment (E1).
+//!
+//! On top of the fabric sit the paper's network-level services:
+//!
+//! * [`bastion`] — the HA, locked-down SSH jump host set in SWS with its
+//!   externally managed kill switch;
+//! * [`tailnet`] — WireGuard-style admin overlay (X25519 handshake,
+//!   ChaCha20 + HMAC transport) gated on `mgmt-tailnet` RBAC tokens;
+//! * [`tunnel`] — Zenith-style reverse tunnels: services in the MDC dial
+//!   *out* to FDS, so nothing in MDC/SWS listens on the internet;
+//! * [`edge`] — the Cloudflare-style zero-trust edge with DDoS scoring in
+//!   front of the tunnel server.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bastion;
+pub mod edge;
+pub mod tailnet;
+pub mod topology;
+pub mod tunnel;
+
+pub use bastion::{Bastion, BastionError};
+pub use edge::{EdgeError, EdgeProxy};
+pub use tailnet::{Tailnet, TailnetError, TailnetNode};
+pub use topology::{
+    ConnEvent, Domain, Host, HostId, NetError, Network, Rule, Selector, Zone,
+};
+pub use tunnel::{HttpRequest, HttpResponse, TunnelError, TunnelServer};

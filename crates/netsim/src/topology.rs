@@ -1,0 +1,432 @@
+//! Domains, zones, hosts, firewall rules, and the connection fabric.
+
+use std::collections::HashMap;
+
+use dri_clock::SimClock;
+use parking_lot::RwLock;
+
+/// The four operating domains of the Isambard DRIs, plus the outside
+/// world and user devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Modular Data Centres (the supercomputers).
+    Mdc,
+    /// Sitewide Services (bastions, log gathering, admin access).
+    Sws,
+    /// Front Door Services (public cloud, Access Zone).
+    Fds,
+    /// Security Services (public cloud, separate account).
+    Sec,
+    /// The public internet.
+    Internet,
+}
+
+impl Domain {
+    /// Stable display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Domain::Mdc => "mdc",
+            Domain::Sws => "sws",
+            Domain::Fds => "fds",
+            Domain::Sec => "sec",
+            Domain::Internet => "internet",
+        }
+    }
+}
+
+/// NIST SP 800-223 zones (plus Public for internet hosts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Zone {
+    /// Access zone: the only internet-facing zone.
+    Access,
+    /// Management plane.
+    Management,
+    /// High-performance computing (user plane).
+    Hpc,
+    /// Data storage.
+    DataStorage,
+    /// Security monitoring.
+    Security,
+    /// Public internet / user devices.
+    Public,
+}
+
+impl Zone {
+    /// Stable display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Zone::Access => "access",
+            Zone::Management => "management",
+            Zone::Hpc => "hpc",
+            Zone::DataStorage => "data-storage",
+            Zone::Security => "security",
+            Zone::Public => "public",
+        }
+    }
+}
+
+/// Opaque host identifier.
+pub type HostId = String;
+
+/// A host (physical node, VM, or container) in the fabric.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Unique id (`fds/broker`, `mdc/login01`, …).
+    pub id: HostId,
+    /// Domain the host lives in.
+    pub domain: Domain,
+    /// Zone the host belongs to.
+    pub zone: Zone,
+    /// Services this host exposes (named ports, e.g. `ssh`, `https`).
+    pub services: Vec<String>,
+    /// Marked true when an experiment "compromises" the host.
+    pub compromised: bool,
+}
+
+/// A firewall selector: matches a specific host, everything in a
+/// domain/zone, or anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selector {
+    /// Match one host by id.
+    Host(HostId),
+    /// Match all hosts in a domain.
+    InDomain(Domain),
+    /// Match all hosts in a zone.
+    InZone(Zone),
+    /// Match all hosts in a (domain, zone) pair.
+    DomainZone(Domain, Zone),
+    /// Match anything.
+    Any,
+}
+
+impl Selector {
+    fn matches(&self, host: &Host) -> bool {
+        match self {
+            Selector::Host(id) => &host.id == id,
+            Selector::InDomain(d) => host.domain == *d,
+            Selector::InZone(z) => host.zone == *z,
+            Selector::DomainZone(d, z) => host.domain == *d && host.zone == *z,
+            Selector::Any => true,
+        }
+    }
+}
+
+/// An allow rule (the fabric is default-deny; there are no deny rules,
+/// only the absence of allows — which keeps the policy auditable).
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Human-readable label (shows up in the E1 matrix output).
+    pub label: String,
+    /// Source selector.
+    pub from: Selector,
+    /// Destination selector.
+    pub to: Selector,
+    /// Service name the rule allows (e.g. `ssh`), or `*`.
+    pub service: String,
+}
+
+/// Connection attempt outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// No such source host.
+    UnknownSource,
+    /// No such destination host.
+    UnknownDestination,
+    /// The destination does not expose that service.
+    ServiceNotExposed,
+    /// Default-deny: no allow rule matched.
+    Denied,
+    /// The destination host is administratively isolated (kill switch).
+    Isolated,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NetError::UnknownSource => "unknown source host",
+            NetError::UnknownDestination => "unknown destination host",
+            NetError::ServiceNotExposed => "service not exposed on destination",
+            NetError::Denied => "denied by segmentation policy",
+            NetError::Isolated => "destination isolated by kill switch",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// One connection-attempt record (fed to the SIEM).
+#[derive(Debug, Clone)]
+pub struct ConnEvent {
+    /// Simulated time (ms).
+    pub at_ms: u64,
+    /// Source host id.
+    pub src: HostId,
+    /// Destination host id.
+    pub dst: HostId,
+    /// Service requested.
+    pub service: String,
+    /// Whether the fabric allowed it.
+    pub allowed: bool,
+    /// Failure reason when denied.
+    pub error: Option<NetError>,
+}
+
+#[derive(Default)]
+struct NetState {
+    hosts: HashMap<HostId, Host>,
+    rules: Vec<Rule>,
+    isolated: std::collections::HashSet<HostId>,
+    log: Vec<ConnEvent>,
+}
+
+/// The segmented network fabric.
+pub struct Network {
+    clock: SimClock,
+    state: RwLock<NetState>,
+}
+
+impl Network {
+    /// An empty fabric (default deny everything).
+    pub fn new(clock: SimClock) -> Network {
+        Network { clock, state: RwLock::new(NetState::default()) }
+    }
+
+    /// Add a host.
+    pub fn add_host(
+        &self,
+        id: impl Into<String>,
+        domain: Domain,
+        zone: Zone,
+        services: &[&str],
+    ) -> HostId {
+        let id = id.into();
+        let host = Host {
+            id: id.clone(),
+            domain,
+            zone,
+            services: services.iter().map(|s| s.to_string()).collect(),
+            compromised: false,
+        };
+        self.state.write().hosts.insert(id.clone(), host);
+        id
+    }
+
+    /// Install an allow rule.
+    pub fn allow(
+        &self,
+        label: impl Into<String>,
+        from: Selector,
+        to: Selector,
+        service: impl Into<String>,
+    ) {
+        self.state.write().rules.push(Rule {
+            label: label.into(),
+            from,
+            to,
+            service: service.into(),
+        });
+    }
+
+    /// Attempt a connection; enforced and logged.
+    pub fn connect(&self, src: &str, dst: &str, service: &str) -> Result<(), NetError> {
+        let result = self.check(src, dst, service);
+        let mut state = self.state.write();
+        state.log.push(ConnEvent {
+            at_ms: self.clock.now_ms(),
+            src: src.to_string(),
+            dst: dst.to_string(),
+            service: service.to_string(),
+            allowed: result.is_ok(),
+            error: result.err(),
+        });
+        result
+    }
+
+    /// Policy check without logging (used by the E1 matrix sweep).
+    pub fn check(&self, src: &str, dst: &str, service: &str) -> Result<(), NetError> {
+        let state = self.state.read();
+        let src_host = state.hosts.get(src).ok_or(NetError::UnknownSource)?;
+        let dst_host = state.hosts.get(dst).ok_or(NetError::UnknownDestination)?;
+        if state.isolated.contains(dst) || state.isolated.contains(src) {
+            return Err(NetError::Isolated);
+        }
+        if !dst_host.services.iter().any(|s| s == service) {
+            return Err(NetError::ServiceNotExposed);
+        }
+        let allowed = state.rules.iter().any(|r| {
+            (r.service == "*" || r.service == service)
+                && r.from.matches(src_host)
+                && r.to.matches(dst_host)
+        });
+        if allowed {
+            Ok(())
+        } else {
+            Err(NetError::Denied)
+        }
+    }
+
+    /// Administratively isolate a host (kill switch). Existing and new
+    /// connections involving it fail.
+    pub fn isolate(&self, host: &str) {
+        self.state.write().isolated.insert(host.to_string());
+    }
+
+    /// Lift isolation.
+    pub fn deisolate(&self, host: &str) {
+        self.state.write().isolated.remove(host);
+    }
+
+    /// Mark a host compromised (experiments only — the fabric itself does
+    /// not behave differently; detection must come from the SIEM).
+    pub fn mark_compromised(&self, host: &str, compromised: bool) {
+        if let Some(h) = self.state.write().hosts.get_mut(host) {
+            h.compromised = compromised;
+        }
+    }
+
+    /// Host snapshot.
+    pub fn host(&self, id: &str) -> Option<Host> {
+        self.state.read().hosts.get(id).cloned()
+    }
+
+    /// All host ids, sorted.
+    pub fn host_ids(&self) -> Vec<HostId> {
+        let mut ids: Vec<HostId> = self.state.read().hosts.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Drain the connection log (the SIEM forwarder calls this).
+    pub fn drain_log(&self) -> Vec<ConnEvent> {
+        std::mem::take(&mut self.state.write().log)
+    }
+
+    /// Current log length without draining.
+    pub fn log_len(&self) -> usize {
+        self.state.read().log.len()
+    }
+
+    /// Number of installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.state.read().rules.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Network {
+        let net = Network::new(SimClock::new());
+        net.add_host("internet/laptop", Domain::Internet, Zone::Public, &[]);
+        net.add_host("sws/bastion", Domain::Sws, Zone::Access, &["ssh"]);
+        net.add_host("mdc/login01", Domain::Mdc, Zone::Hpc, &["ssh", "jupyter-auth"]);
+        net.add_host("mdc/mgmt01", Domain::Mdc, Zone::Management, &["admin-api"]);
+        net.add_host("fds/broker", Domain::Fds, Zone::Access, &["https"]);
+        net.allow(
+            "internet->bastion ssh",
+            Selector::InDomain(Domain::Internet),
+            Selector::Host("sws/bastion".into()),
+            "ssh",
+        );
+        net.allow(
+            "bastion->login ssh",
+            Selector::Host("sws/bastion".into()),
+            Selector::DomainZone(Domain::Mdc, Zone::Hpc),
+            "ssh",
+        );
+        net
+    }
+
+    #[test]
+    fn default_deny() {
+        let net = fabric();
+        // Laptop cannot reach the login node directly.
+        assert_eq!(
+            net.connect("internet/laptop", "mdc/login01", "ssh"),
+            Err(NetError::Denied)
+        );
+        // Laptop cannot reach the management plane at all.
+        assert_eq!(
+            net.connect("internet/laptop", "mdc/mgmt01", "admin-api"),
+            Err(NetError::Denied)
+        );
+        // Unknown hosts and services fail typed.
+        assert_eq!(
+            net.connect("ghost", "mdc/login01", "ssh"),
+            Err(NetError::UnknownSource)
+        );
+        assert_eq!(
+            net.connect("internet/laptop", "ghost", "ssh"),
+            Err(NetError::UnknownDestination)
+        );
+        assert_eq!(
+            net.connect("internet/laptop", "sws/bastion", "telnet"),
+            Err(NetError::ServiceNotExposed)
+        );
+    }
+
+    #[test]
+    fn allowed_path_works_and_logs() {
+        let net = fabric();
+        assert_eq!(net.connect("internet/laptop", "sws/bastion", "ssh"), Ok(()));
+        assert_eq!(net.connect("sws/bastion", "mdc/login01", "ssh"), Ok(()));
+        let log = net.drain_log();
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|e| e.allowed));
+        assert_eq!(net.log_len(), 0);
+    }
+
+    #[test]
+    fn kill_switch_isolates_host() {
+        let net = fabric();
+        assert!(net.connect("internet/laptop", "sws/bastion", "ssh").is_ok());
+        net.isolate("sws/bastion");
+        assert_eq!(
+            net.connect("internet/laptop", "sws/bastion", "ssh"),
+            Err(NetError::Isolated)
+        );
+        // And the bastion can't originate either.
+        assert_eq!(
+            net.connect("sws/bastion", "mdc/login01", "ssh"),
+            Err(NetError::Isolated)
+        );
+        net.deisolate("sws/bastion");
+        assert!(net.connect("internet/laptop", "sws/bastion", "ssh").is_ok());
+    }
+
+    #[test]
+    fn denied_attempts_are_logged_with_reason() {
+        let net = fabric();
+        let _ = net.connect("internet/laptop", "mdc/login01", "ssh");
+        let log = net.drain_log();
+        assert_eq!(log.len(), 1);
+        assert!(!log[0].allowed);
+        assert_eq!(log[0].error, Some(NetError::Denied));
+    }
+
+    #[test]
+    fn selectors_match_expected_sets() {
+        let net = fabric();
+        // Zone selector: HPC zone reachable from bastion via rule 2
+        // regardless of which HPC host.
+        net.add_host("mdc/login02", Domain::Mdc, Zone::Hpc, &["ssh"]);
+        assert!(net.connect("sws/bastion", "mdc/login02", "ssh").is_ok());
+        // But not a management host, even for ssh.
+        net.add_host("mdc/mgmt02", Domain::Mdc, Zone::Management, &["ssh"]);
+        assert_eq!(
+            net.connect("sws/bastion", "mdc/mgmt02", "ssh"),
+            Err(NetError::Denied)
+        );
+    }
+
+    #[test]
+    fn compromise_marking_is_visible() {
+        let net = fabric();
+        net.mark_compromised("mdc/login01", true);
+        assert!(net.host("mdc/login01").unwrap().compromised);
+        net.mark_compromised("mdc/login01", false);
+        assert!(!net.host("mdc/login01").unwrap().compromised);
+    }
+}

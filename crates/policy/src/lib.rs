@@ -1,0 +1,30 @@
+//! # dri-policy — the zero-trust policy engine
+//!
+//! NIST SP 800-207 structures the control plane around a *policy decision
+//! point* (PDP) fed by a *trust algorithm* over identity, device, and
+//! environment signals, enforced per session at *policy enforcement
+//! points*. The paper adopts the seven ZT tenets as design drivers; this
+//! crate makes them executable:
+//!
+//! * [`trust`] — the trust algorithm and PDP: score an access request
+//!   from identity assurance, authentication context, device posture,
+//!   source zone, session age and resource sensitivity; decide against a
+//!   per-sensitivity threshold.
+//! * [`tenets`] — a machine-checked audit of the seven tenets over
+//!   evidence the assembled infrastructure produces (E15).
+//! * [`caf`] — the NCSC Cyber Assessment Framework baseline-profile
+//!   assessment the paper names as its next step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod caf;
+pub mod tenets;
+pub mod trust;
+
+pub use caf::{Achievement, CafAssessment, CafEvidence, CafPrinciple};
+pub use tenets::{TenetAudit, TenetEvidence, TenetResult};
+pub use trust::{
+    AccessDecision, AccessRequest, DevicePosture, PolicyDecisionPoint, Sensitivity,
+    SourceZone,
+};

@@ -1,0 +1,318 @@
+//! The trust algorithm and policy decision point.
+//!
+//! Tenet 4: "Access to resources is determined by dynamic policy —
+//! including the observable state of client identity, application/service,
+//! and the requesting asset — and may include other behavioural and
+//! environmental attributes." The PDP below scores those inputs
+//! explicitly, so experiments can ablate individual signals and watch
+//! decisions change.
+
+use dri_federation::types::LevelOfAssurance;
+
+/// Device posture signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevicePosture {
+    /// Device is enrolled/managed (e.g. a tailnet node or known client).
+    pub managed: bool,
+    /// Known-patched (inventory says no critical vulns).
+    pub patched: bool,
+    /// Flagged compromised by the SIEM.
+    pub compromised: bool,
+}
+
+impl DevicePosture {
+    /// A healthy managed device.
+    pub fn healthy() -> DevicePosture {
+        DevicePosture { managed: true, patched: true, compromised: false }
+    }
+
+    /// An unknown, unmanaged device (typical BYOD laptop).
+    pub fn unknown() -> DevicePosture {
+        DevicePosture { managed: false, patched: false, compromised: false }
+    }
+}
+
+/// Where the request originates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceZone {
+    /// Public internet.
+    Internet,
+    /// Inside the Access zone.
+    Access,
+    /// Inside the HPC zone.
+    Hpc,
+    /// Inside the Management zone (via tailnet).
+    Management,
+}
+
+/// How sensitive the requested resource is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Sensitivity {
+    /// Ordinary research services (Jupyter, job submission).
+    Standard,
+    /// Data with handling requirements (GSCP Official).
+    Elevated,
+    /// Management-plane / security-plane resources.
+    Critical,
+}
+
+/// An access request presented to the PDP.
+#[derive(Debug, Clone)]
+pub struct AccessRequest {
+    /// Subject identifier.
+    pub subject: String,
+    /// Identity assurance.
+    pub loa: LevelOfAssurance,
+    /// Authentication context (`pwd`, `pwd+totp`, `mfa-totp`, `mfa-hw`).
+    pub acr: String,
+    /// Device posture.
+    pub device: DevicePosture,
+    /// Source zone.
+    pub source: SourceZone,
+    /// Seconds since interactive authentication.
+    pub session_age_secs: u64,
+    /// Resource identifier.
+    pub resource: String,
+    /// Resource sensitivity.
+    pub sensitivity: Sensitivity,
+    /// Whether the subject holds a role on the resource (from the portal).
+    pub has_role: bool,
+}
+
+/// The PDP's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessDecision {
+    /// Allowed?
+    pub allow: bool,
+    /// The computed trust score in `[0, 1]`.
+    pub score: f64,
+    /// Threshold that applied.
+    pub threshold: f64,
+    /// Human-readable contributing reasons (for audit).
+    pub reasons: Vec<String>,
+}
+
+/// The policy decision point.
+#[derive(Debug, Clone)]
+pub struct PolicyDecisionPoint {
+    /// Maximum session age before re-authentication is forced (seconds).
+    pub max_session_age_secs: u64,
+    /// Score thresholds per sensitivity.
+    pub threshold_standard: f64,
+    /// Threshold for [`Sensitivity::Elevated`].
+    pub threshold_elevated: f64,
+    /// Threshold for [`Sensitivity::Critical`].
+    pub threshold_critical: f64,
+}
+
+impl Default for PolicyDecisionPoint {
+    fn default() -> Self {
+        PolicyDecisionPoint {
+            max_session_age_secs: 8 * 3600,
+            threshold_standard: 0.55,
+            threshold_elevated: 0.70,
+            threshold_critical: 0.85,
+        }
+    }
+}
+
+impl PolicyDecisionPoint {
+    /// Score and decide an access request. Hard failures (no role,
+    /// compromised device, stale session) bypass the score entirely —
+    /// "never trust, always verify" means some signals are gates, not
+    /// weights.
+    pub fn decide(&self, req: &AccessRequest) -> AccessDecision {
+        let mut reasons = Vec::new();
+
+        // Gates.
+        if !req.has_role {
+            return AccessDecision {
+                allow: false,
+                score: 0.0,
+                threshold: self.threshold(req.sensitivity),
+                reasons: vec!["no role on resource (authorisation-led)".into()],
+            };
+        }
+        if req.device.compromised {
+            return AccessDecision {
+                allow: false,
+                score: 0.0,
+                threshold: self.threshold(req.sensitivity),
+                reasons: vec!["device flagged compromised".into()],
+            };
+        }
+        if req.session_age_secs >= self.max_session_age_secs {
+            return AccessDecision {
+                allow: false,
+                score: 0.0,
+                threshold: self.threshold(req.sensitivity),
+                reasons: vec!["session stale; re-authentication required".into()],
+            };
+        }
+
+        // Weighted signals.
+        let identity = match req.loa {
+            LevelOfAssurance::High => 1.0,
+            LevelOfAssurance::Medium => 0.7,
+            LevelOfAssurance::Low => 0.3,
+        };
+        reasons.push(format!("identity assurance {:?} -> {identity:.2}", req.loa));
+
+        let authn = match req.acr.as_str() {
+            "mfa-hw" => 1.0,
+            "mfa-totp" | "pwd+totp" => 0.8,
+            "pwd" => 0.4,
+            _ => 0.2,
+        };
+        reasons.push(format!("authn context {} -> {authn:.2}", req.acr));
+
+        let device = match (req.device.managed, req.device.patched) {
+            (true, true) => 1.0,
+            (true, false) => 0.6,
+            (false, _) => 0.5,
+        };
+        reasons.push(format!(
+            "device managed={} patched={} -> {device:.2}",
+            req.device.managed, req.device.patched
+        ));
+
+        let source = match req.source {
+            SourceZone::Management => 1.0,
+            SourceZone::Hpc => 0.9,
+            SourceZone::Access => 0.8,
+            SourceZone::Internet => 0.6,
+        };
+        reasons.push(format!("source {:?} -> {source:.2}", req.source));
+
+        // Freshness decays linearly over the session lifetime.
+        let freshness = 1.0
+            - (req.session_age_secs as f64 / self.max_session_age_secs as f64) * 0.5;
+        reasons.push(format!(
+            "session age {}s -> freshness {freshness:.2}",
+            req.session_age_secs
+        ));
+
+        let score = 0.30 * identity
+            + 0.25 * authn
+            + 0.15 * device
+            + 0.15 * source
+            + 0.15 * freshness;
+        let threshold = self.threshold(req.sensitivity);
+        AccessDecision { allow: score >= threshold, score, threshold, reasons }
+    }
+
+    fn threshold(&self, sensitivity: Sensitivity) -> f64 {
+        match sensitivity {
+            Sensitivity::Standard => self.threshold_standard,
+            Sensitivity::Elevated => self.threshold_elevated,
+            Sensitivity::Critical => self.threshold_critical,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_request() -> AccessRequest {
+        AccessRequest {
+            subject: "maid-1".into(),
+            loa: LevelOfAssurance::Medium,
+            acr: "mfa-totp".into(),
+            device: DevicePosture::unknown(),
+            source: SourceZone::Internet,
+            session_age_secs: 60,
+            resource: "jupyter".into(),
+            sensitivity: Sensitivity::Standard,
+            has_role: true,
+        }
+    }
+
+    #[test]
+    fn typical_researcher_allowed_on_standard() {
+        let pdp = PolicyDecisionPoint::default();
+        let d = pdp.decide(&base_request());
+        assert!(d.allow, "score {} vs {}", d.score, d.threshold);
+    }
+
+    #[test]
+    fn no_role_is_a_hard_gate() {
+        let pdp = PolicyDecisionPoint::default();
+        let mut req = base_request();
+        req.has_role = false;
+        // Even a perfect identity fails without authorisation.
+        req.loa = LevelOfAssurance::High;
+        req.acr = "mfa-hw".into();
+        req.device = DevicePosture::healthy();
+        let d = pdp.decide(&req);
+        assert!(!d.allow);
+        assert_eq!(d.score, 0.0);
+    }
+
+    #[test]
+    fn compromised_device_is_a_hard_gate() {
+        let pdp = PolicyDecisionPoint::default();
+        let mut req = base_request();
+        req.device.compromised = true;
+        assert!(!pdp.decide(&req).allow);
+    }
+
+    #[test]
+    fn stale_session_forces_reauth() {
+        let pdp = PolicyDecisionPoint::default();
+        let mut req = base_request();
+        req.session_age_secs = 8 * 3600;
+        let d = pdp.decide(&req);
+        assert!(!d.allow);
+        assert!(d.reasons[0].contains("re-authentication"));
+    }
+
+    #[test]
+    fn critical_resources_need_strong_everything() {
+        let pdp = PolicyDecisionPoint::default();
+        // The researcher request, pointed at a critical resource: denied.
+        let mut req = base_request();
+        req.sensitivity = Sensitivity::Critical;
+        assert!(!pdp.decide(&req).allow);
+        // The admin profile: High LoA, hardware key, managed device,
+        // arriving via the management overlay — allowed.
+        req.loa = LevelOfAssurance::High;
+        req.acr = "mfa-hw".into();
+        req.device = DevicePosture::healthy();
+        req.source = SourceZone::Management;
+        let d = pdp.decide(&req);
+        assert!(d.allow, "score {} vs {}", d.score, d.threshold);
+    }
+
+    #[test]
+    fn password_only_fails_even_standard_from_internet() {
+        let pdp = PolicyDecisionPoint::default();
+        let mut req = base_request();
+        req.acr = "pwd".into();
+        req.loa = LevelOfAssurance::Low;
+        let d = pdp.decide(&req);
+        assert!(!d.allow, "score {}", d.score);
+    }
+
+    #[test]
+    fn score_monotone_in_session_age() {
+        let pdp = PolicyDecisionPoint::default();
+        let mut prev = f64::INFINITY;
+        for age in [0u64, 3600, 2 * 3600, 4 * 3600, 7 * 3600] {
+            let mut req = base_request();
+            req.session_age_secs = age;
+            let d = pdp.decide(&req);
+            assert!(d.score <= prev, "score should not increase with age");
+            prev = d.score;
+        }
+    }
+
+    #[test]
+    fn decisions_carry_audit_reasons() {
+        let pdp = PolicyDecisionPoint::default();
+        let d = pdp.decide(&base_request());
+        assert!(d.reasons.len() >= 5);
+        assert!(d.reasons.iter().any(|r| r.contains("identity")));
+        assert!(d.reasons.iter().any(|r| r.contains("source")));
+    }
+}

@@ -1,0 +1,73 @@
+//! Email invitations binding a future login to a pre-granted role.
+//!
+//! This is the mechanism behind "authorisation leads authentication": the
+//! *grant* (invitation) exists before the user has ever authenticated;
+//! accepting it binds their community identity to the project role.
+
+use crate::project::ProjectRole;
+
+/// A single-use, time-limited invitation.
+#[derive(Debug, Clone)]
+pub struct Invitation {
+    /// Opaque invitation token (sent by email).
+    pub token: String,
+    /// Email address invited.
+    pub email: String,
+    /// Target project.
+    pub project_id: String,
+    /// Role to grant on acceptance.
+    pub role: ProjectRole,
+    /// Who issued it (allocator or PI subject).
+    pub invited_by: String,
+    /// Expiry (seconds).
+    pub expires_at: u64,
+    /// Set when accepted (subject that claimed it).
+    pub accepted_by: Option<String>,
+}
+
+/// Invitation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvitationError {
+    /// Unknown token.
+    Unknown,
+    /// Already accepted.
+    AlreadyUsed,
+    /// Past expiry.
+    Expired,
+    /// Terms and conditions were not accepted.
+    TermsNotAccepted,
+}
+
+impl std::fmt::Display for InvitationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InvitationError::Unknown => "unknown invitation",
+            InvitationError::AlreadyUsed => "invitation already used",
+            InvitationError::Expired => "invitation expired",
+            InvitationError::TermsNotAccepted => "terms and conditions not accepted",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for InvitationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invitation_fields() {
+        let inv = Invitation {
+            token: "tok".into(),
+            email: "pi@uni.example".into(),
+            project_id: "proj-1".into(),
+            role: ProjectRole::Pi,
+            invited_by: "allocator:ops".into(),
+            expires_at: 99,
+            accepted_by: None,
+        };
+        assert!(inv.accepted_by.is_none());
+        assert_eq!(inv.role, ProjectRole::Pi);
+    }
+}

@@ -1,0 +1,28 @@
+//! # dri-portal — the user and project management portal
+//!
+//! The Waldur/Puhuri-style portal of the paper's FDS domain. It is the
+//! *source of authorisation truth*: the broker consults it (via
+//! [`dri_broker::AuthorizationSource`]) before establishing sessions or
+//! minting tokens, which is what makes registration *authorisation-led*.
+//!
+//! Concepts, mirroring §IV-A of the paper:
+//!
+//! * **Allocator** — portal-level admin who creates projects and grants the
+//!   PI role (user story 1).
+//! * **PI** — project owner; invites/removes Researchers (user stories 1, 3).
+//! * **Researcher** — project member; cannot invite others.
+//! * **Projects** are time- and resource-limited; expiry or revocation
+//!   removes every member's authorisation at once.
+//! * Each member gets a **unique per-project UNIX account** (user story 4's
+//!   ZTA requirement) minted at join time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod invitations;
+pub mod portal;
+pub mod project;
+
+pub use invitations::{Invitation, InvitationError};
+pub use portal::{Portal, PortalError};
+pub use project::{Allocation, DataClass, Membership, Project, ProjectRole, ProjectStatus};

@@ -1,0 +1,109 @@
+//! The security-event vocabulary forwarded from every domain.
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Routine (successful operations).
+    Info,
+    /// Suspicious but not conclusive.
+    Warning,
+    /// Requires attention.
+    High,
+    /// Active incident.
+    Critical,
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Failed interactive authentication.
+    AuthnFailure,
+    /// Successful interactive authentication.
+    AuthnSuccess,
+    /// RBAC token issued.
+    TokenIssued,
+    /// A service rejected a presented token.
+    TokenRejected,
+    /// Use of an expired credential (token or certificate).
+    ExpiredCredentialUse,
+    /// SSH certificate issued.
+    CertIssued,
+    /// Connection allowed by the fabric.
+    ConnAllowed,
+    /// Connection denied by the fabric.
+    ConnDenied,
+    /// Request blocked at the edge (rate/blocklist).
+    EdgeBlocked,
+    /// Privileged management operation executed.
+    PrivilegedOp,
+    /// Batch job submitted.
+    JobSubmitted,
+    /// Notebook session spawned.
+    NotebookSpawned,
+    /// Kill switch activated.
+    KillSwitch,
+}
+
+/// One event in the pipeline.
+#[derive(Debug, Clone)]
+pub struct SecurityEvent {
+    /// Simulated time (ms).
+    pub at_ms: u64,
+    /// Emitting component (`fds/broker`, `sws/bastion`, `mdc/login01` …).
+    pub source: String,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Subject involved, when known (cuid, `admin:x`, source IP, …).
+    pub subject: String,
+    /// Free-text detail.
+    pub detail: String,
+    /// Severity assigned by the emitter.
+    pub severity: Severity,
+}
+
+impl SecurityEvent {
+    /// Convenience constructor.
+    pub fn new(
+        at_ms: u64,
+        source: impl Into<String>,
+        kind: EventKind,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+        severity: Severity,
+    ) -> SecurityEvent {
+        SecurityEvent {
+            at_ms,
+            source: source.into(),
+            kind,
+            subject: subject.into(),
+            detail: detail.into(),
+            severity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_is_ordered() {
+        assert!(Severity::Critical > Severity::High);
+        assert!(Severity::High > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn event_constructor() {
+        let e = SecurityEvent::new(
+            10,
+            "fds/broker",
+            EventKind::AuthnFailure,
+            "maid-1",
+            "bad password",
+            Severity::Warning,
+        );
+        assert_eq!(e.source, "fds/broker");
+        assert_eq!(e.kind, EventKind::AuthnFailure);
+    }
+}

@@ -1,0 +1,192 @@
+//! Asset & software inventory with vulnerability matching (SOC task 2).
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::events::Severity;
+
+/// A known vulnerability in the feed.
+#[derive(Debug, Clone)]
+pub struct Vulnerability {
+    /// Identifier (`CVE-2024-XXXX`-style).
+    pub id: String,
+    /// Affected software name.
+    pub software: String,
+    /// Versions strictly below this are vulnerable.
+    pub fixed_in: Version,
+    /// Severity.
+    pub severity: Severity,
+}
+
+/// Semantic-ish version triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Version(pub u32, pub u32, pub u32);
+
+impl Version {
+    /// Parse `a.b.c` (missing components default to 0).
+    pub fn parse(s: &str) -> Option<Version> {
+        let mut it = s.split('.');
+        let a = it.next()?.parse().ok()?;
+        let b = it.next().unwrap_or("0").parse().ok()?;
+        let c = it.next().unwrap_or("0").parse().ok()?;
+        Some(Version(a, b, c))
+    }
+}
+
+impl std::fmt::Display for Version {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}.{}", self.0, self.1, self.2)
+    }
+}
+
+/// A vulnerability hit on a specific asset.
+#[derive(Debug, Clone)]
+pub struct VulnFinding {
+    /// The asset (host id).
+    pub host: String,
+    /// Software name.
+    pub software: String,
+    /// Installed version.
+    pub installed: Version,
+    /// The matched vulnerability.
+    pub vuln_id: String,
+    /// Severity.
+    pub severity: Severity,
+}
+
+#[derive(Default)]
+struct InventoryState {
+    /// host -> software name -> version
+    assets: HashMap<String, HashMap<String, Version>>,
+    feed: Vec<Vulnerability>,
+}
+
+/// The inventory service.
+#[derive(Default)]
+pub struct Inventory {
+    state: RwLock<InventoryState>,
+}
+
+impl Inventory {
+    /// Empty inventory.
+    pub fn new() -> Inventory {
+        Inventory::default()
+    }
+
+    /// Record (or update) software installed on a host.
+    pub fn record(&self, host: &str, software: &str, version: Version) {
+        self.state
+            .write()
+            .assets
+            .entry(host.to_string())
+            .or_default()
+            .insert(software.to_string(), version);
+    }
+
+    /// Load a vulnerability into the feed.
+    pub fn add_vulnerability(&self, vuln: Vulnerability) {
+        self.state.write().feed.push(vuln);
+    }
+
+    /// Scan every asset against the feed.
+    pub fn scan(&self) -> Vec<VulnFinding> {
+        let state = self.state.read();
+        let mut findings = Vec::new();
+        for (host, software_map) in &state.assets {
+            for (software, version) in software_map {
+                for vuln in &state.feed {
+                    if vuln.software == *software && *version < vuln.fixed_in {
+                        findings.push(VulnFinding {
+                            host: host.clone(),
+                            software: software.clone(),
+                            installed: *version,
+                            vuln_id: vuln.id.clone(),
+                            severity: vuln.severity,
+                        });
+                    }
+                }
+            }
+        }
+        findings.sort_by(|a, b| (&a.host, &a.vuln_id).cmp(&(&b.host, &b.vuln_id)));
+        findings
+    }
+
+    /// Number of tracked assets.
+    pub fn asset_count(&self) -> usize {
+        self.state.read().assets.len()
+    }
+
+    /// Number of feed entries.
+    pub fn feed_size(&self) -> usize {
+        self.state.read().feed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_parse_and_order() {
+        assert_eq!(Version::parse("1.2.3"), Some(Version(1, 2, 3)));
+        assert_eq!(Version::parse("9"), Some(Version(9, 0, 0)));
+        assert_eq!(Version::parse("9.1"), Some(Version(9, 1, 0)));
+        assert_eq!(Version::parse("x"), None);
+        assert!(Version(9, 3, 0) < Version(9, 10, 0));
+        assert!(Version(10, 0, 0) > Version(9, 99, 99));
+    }
+
+    #[test]
+    fn scan_flags_only_vulnerable_versions() {
+        let inv = Inventory::new();
+        inv.record("sws/bastion-1", "openssh", Version(9, 3, 0));
+        inv.record("sws/bastion-2", "openssh", Version(9, 8, 0));
+        inv.record("mdc/login01", "slurm", Version(23, 11, 0));
+        inv.add_vulnerability(Vulnerability {
+            id: "CVE-2024-6387".into(),
+            software: "openssh".into(),
+            fixed_in: Version(9, 8, 0),
+            severity: Severity::Critical,
+        });
+        let findings = inv.scan();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].host, "sws/bastion-1");
+        assert_eq!(findings[0].vuln_id, "CVE-2024-6387");
+        // Patch the host; scan comes back clean.
+        inv.record("sws/bastion-1", "openssh", Version(9, 8, 0));
+        assert!(inv.scan().is_empty());
+    }
+
+    #[test]
+    fn counts() {
+        let inv = Inventory::new();
+        inv.record("a", "x", Version(1, 0, 0));
+        inv.record("a", "y", Version(1, 0, 0));
+        inv.record("b", "x", Version(1, 0, 0));
+        assert_eq!(inv.asset_count(), 2);
+        assert_eq!(inv.feed_size(), 0);
+    }
+
+    #[test]
+    fn multiple_vulns_same_host_sorted() {
+        let inv = Inventory::new();
+        inv.record("h", "libfoo", Version(1, 0, 0));
+        inv.add_vulnerability(Vulnerability {
+            id: "CVE-B".into(),
+            software: "libfoo".into(),
+            fixed_in: Version(2, 0, 0),
+            severity: Severity::High,
+        });
+        inv.add_vulnerability(Vulnerability {
+            id: "CVE-A".into(),
+            software: "libfoo".into(),
+            fixed_in: Version(1, 5, 0),
+            severity: Severity::Warning,
+        });
+        let findings = inv.scan();
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].vuln_id, "CVE-A");
+        assert_eq!(findings[1].vuln_id, "CVE-B");
+    }
+}

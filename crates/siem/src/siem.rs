@@ -1,0 +1,410 @@
+//! The SIEM: ingestion, windowed detection rules, alerting and
+//! kill-switch recommendations.
+
+use std::collections::{HashMap, VecDeque};
+
+use dri_clock::{IdGen, SimClock};
+use parking_lot::RwLock;
+
+use crate::events::{EventKind, SecurityEvent, Severity};
+
+/// Callback notified for every raised alert (the external 24/7 monitor).
+pub type AlertSink = Box<dyn Fn(&Alert) + Send + Sync>;
+
+/// Detection thresholds (all sliding windows in milliseconds).
+#[derive(Debug, Clone)]
+pub struct DetectionConfig {
+    /// Failed authentications per subject before a credential-stuffing
+    /// alert.
+    pub authn_failure_threshold: usize,
+    /// Window for authentication failures.
+    pub authn_window_ms: u64,
+    /// Token rejections per subject before a token-abuse alert.
+    pub token_reject_threshold: usize,
+    /// Window for token rejections.
+    pub token_window_ms: u64,
+    /// Denied connections from one internal source before a
+    /// lateral-movement alert.
+    pub lateral_threshold: usize,
+    /// Window for denied connections.
+    pub lateral_window_ms: u64,
+    /// Expired-credential uses per subject before an alert.
+    pub expired_cred_threshold: usize,
+    /// Window for expired-credential uses.
+    pub expired_window_ms: u64,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig {
+            authn_failure_threshold: 5,
+            authn_window_ms: 60_000,
+            token_reject_threshold: 5,
+            token_window_ms: 60_000,
+            lateral_threshold: 3,
+            lateral_window_ms: 60_000,
+            expired_cred_threshold: 3,
+            expired_window_ms: 300_000,
+        }
+    }
+}
+
+/// A raised alert.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// Alert id.
+    pub id: String,
+    /// When raised (ms).
+    pub at_ms: u64,
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Offending subject / source.
+    pub subject: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Evidence events counted in the window.
+    pub evidence: usize,
+    /// Recommended response (`revoke-subject`, `isolate-host`, …).
+    pub recommendation: &'static str,
+}
+
+#[derive(Default)]
+struct SiemState {
+    events: Vec<SecurityEvent>,
+    alerts: Vec<Alert>,
+    /// Per (rule, subject) sliding windows of event timestamps.
+    windows: HashMap<(&'static str, String), VecDeque<u64>>,
+    /// Per (rule, subject): suppress duplicate alerts until window rolls.
+    alerted: HashMap<(&'static str, String), u64>,
+    events_ingested: u64,
+}
+
+/// The SIEM service (runs in SEC).
+pub struct Siem {
+    clock: SimClock,
+    /// Detection thresholds.
+    pub config: DetectionConfig,
+    state: RwLock<SiemState>,
+    /// External 24/7 monitor (NCC-style) notification hook.
+    external_monitor: RwLock<Vec<AlertSink>>,
+    ids: IdGen,
+}
+
+impl Siem {
+    /// Create a SIEM with the given detection thresholds.
+    pub fn new(clock: SimClock, config: DetectionConfig) -> Siem {
+        Siem {
+            clock,
+            config,
+            state: RwLock::new(SiemState::default()),
+            external_monitor: RwLock::new(Vec::new()),
+            ids: IdGen::new("alert"),
+        }
+    }
+
+    /// Register the external monitoring service callback.
+    pub fn register_external_monitor(&self, callback: AlertSink) {
+        self.external_monitor.write().push(callback);
+    }
+
+    /// Ingest a batch of events, running detection on each.
+    pub fn ingest(&self, events: Vec<SecurityEvent>) -> Vec<Alert> {
+        let mut new_alerts = Vec::new();
+        for event in events {
+            if let Some(alert) = self.process(&event) {
+                new_alerts.push(alert);
+            }
+        }
+        if !new_alerts.is_empty() {
+            let monitors = self.external_monitor.read();
+            for alert in &new_alerts {
+                for m in monitors.iter() {
+                    m(alert);
+                }
+            }
+        }
+        new_alerts
+    }
+
+    fn process(&self, event: &SecurityEvent) -> Option<Alert> {
+        let (rule, key, threshold, window_ms, severity, recommendation): (
+            &'static str,
+            String,
+            usize,
+            u64,
+            Severity,
+            &'static str,
+        ) = match event.kind {
+            EventKind::AuthnFailure => (
+                "credential-stuffing",
+                event.subject.clone(),
+                self.config.authn_failure_threshold,
+                self.config.authn_window_ms,
+                Severity::High,
+                "suspend-subject",
+            ),
+            EventKind::TokenRejected => (
+                "token-abuse",
+                event.subject.clone(),
+                self.config.token_reject_threshold,
+                self.config.token_window_ms,
+                Severity::High,
+                "revoke-subject",
+            ),
+            EventKind::ConnDenied if !event.source.starts_with("internet") => (
+                "lateral-movement",
+                event.source.clone(),
+                self.config.lateral_threshold,
+                self.config.lateral_window_ms,
+                Severity::Critical,
+                "isolate-host",
+            ),
+            EventKind::ExpiredCredentialUse => (
+                "expired-credential-replay",
+                event.subject.clone(),
+                self.config.expired_cred_threshold,
+                self.config.expired_window_ms,
+                Severity::Warning,
+                "notify-user",
+            ),
+            _ => {
+                self.record(event.clone());
+                return None;
+            }
+        };
+
+        let mut state = self.state.write();
+        state.events.push(event.clone());
+        state.events_ingested += 1;
+
+        let win = state
+            .windows
+            .entry((rule, key.clone()))
+            .or_default();
+        while win
+            .front()
+            .is_some_and(|t| event.at_ms.saturating_sub(*t) > window_ms)
+        {
+            win.pop_front();
+        }
+        win.push_back(event.at_ms);
+        let evidence = win.len();
+        if evidence < threshold {
+            return None;
+        }
+        // Deduplicate: one alert per (rule, subject) per window.
+        if let Some(last) = state.alerted.get(&(rule, key.clone())) {
+            if event.at_ms.saturating_sub(*last) <= window_ms {
+                return None;
+            }
+        }
+        state.alerted.insert((rule, key.clone()), event.at_ms);
+        let alert = Alert {
+            id: self.ids.next(),
+            at_ms: self.clock.now_ms(),
+            rule,
+            subject: key,
+            severity,
+            evidence,
+            recommendation,
+        };
+        state.alerts.push(alert.clone());
+        Some(alert)
+    }
+
+    fn record(&self, event: SecurityEvent) {
+        let mut state = self.state.write();
+        state.events.push(event);
+        state.events_ingested += 1;
+    }
+
+    /// All alerts so far.
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.state.read().alerts.clone()
+    }
+
+    /// Total events ingested.
+    pub fn events_ingested(&self) -> u64 {
+        self.state.read().events_ingested
+    }
+
+    /// Events matching a kind (forensics queries).
+    pub fn events_of_kind(&self, kind: EventKind) -> Vec<SecurityEvent> {
+        self.state
+            .read()
+            .events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// Count of stored events.
+    pub fn event_count(&self) -> usize {
+        self.state.read().events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn siem() -> (Siem, SimClock) {
+        let clock = SimClock::new();
+        (Siem::new(clock.clone(), DetectionConfig::default()), clock)
+    }
+
+    fn failure(at_ms: u64, subject: &str) -> SecurityEvent {
+        SecurityEvent::new(
+            at_ms,
+            "fds/broker",
+            EventKind::AuthnFailure,
+            subject,
+            "bad password",
+            Severity::Warning,
+        )
+    }
+
+    #[test]
+    fn credential_stuffing_detected_at_threshold() {
+        let (siem, clock) = siem();
+        for i in 0..4 {
+            clock.advance(100);
+            assert!(siem.ingest(vec![failure(clock.now_ms(), "maid-1")]).is_empty(), "{i}");
+        }
+        clock.advance(100);
+        let alerts = siem.ingest(vec![failure(clock.now_ms(), "maid-1")]);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, "credential-stuffing");
+        assert_eq!(alerts[0].subject, "maid-1");
+        assert_eq!(alerts[0].evidence, 5);
+        assert_eq!(alerts[0].recommendation, "suspend-subject");
+    }
+
+    #[test]
+    fn failures_outside_window_do_not_accumulate() {
+        let (siem, clock) = siem();
+        for _ in 0..10 {
+            clock.advance(61_000); // each failure falls outside the window
+            assert!(siem.ingest(vec![failure(clock.now_ms(), "maid-1")]).is_empty());
+        }
+        assert!(siem.alerts().is_empty());
+    }
+
+    #[test]
+    fn different_subjects_tracked_separately() {
+        let (siem, clock) = siem();
+        for i in 0..4 {
+            clock.advance(10);
+            siem.ingest(vec![failure(clock.now_ms(), &format!("user-{i}"))]);
+        }
+        assert!(siem.alerts().is_empty());
+    }
+
+    #[test]
+    fn duplicate_alerts_suppressed_within_window() {
+        let (siem, clock) = siem();
+        let mut alerts = 0;
+        for _ in 0..20 {
+            clock.advance(100);
+            alerts += siem.ingest(vec![failure(clock.now_ms(), "maid-1")]).len();
+        }
+        assert_eq!(alerts, 1, "one alert per window, not one per event");
+    }
+
+    #[test]
+    fn lateral_movement_from_internal_host() {
+        let (siem, clock) = siem();
+        let denied = |at| {
+            SecurityEvent::new(
+                at,
+                "mdc/login01",
+                EventKind::ConnDenied,
+                "",
+                "tried mdc/mgmt01",
+                Severity::Warning,
+            )
+        };
+        clock.advance(10);
+        siem.ingest(vec![denied(clock.now_ms())]);
+        clock.advance(10);
+        siem.ingest(vec![denied(clock.now_ms())]);
+        clock.advance(10);
+        let alerts = siem.ingest(vec![denied(clock.now_ms())]);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, "lateral-movement");
+        assert_eq!(alerts[0].severity, Severity::Critical);
+        assert_eq!(alerts[0].recommendation, "isolate-host");
+    }
+
+    #[test]
+    fn internet_denials_are_not_lateral_movement() {
+        let (siem, clock) = siem();
+        for _ in 0..10 {
+            clock.advance(10);
+            siem.ingest(vec![SecurityEvent::new(
+                clock.now_ms(),
+                "internet/203.0.113.9",
+                EventKind::ConnDenied,
+                "",
+                "scan",
+                Severity::Info,
+            )]);
+        }
+        assert!(siem.alerts().is_empty());
+    }
+
+    #[test]
+    fn external_monitor_notified() {
+        let (siem, clock) = siem();
+        let notified = Arc::new(AtomicUsize::new(0));
+        let n2 = notified.clone();
+        siem.register_external_monitor(Box::new(move |_alert| {
+            n2.fetch_add(1, Ordering::Relaxed);
+        }));
+        for _ in 0..5 {
+            clock.advance(10);
+            siem.ingest(vec![failure(clock.now_ms(), "maid-1")]);
+        }
+        assert_eq!(notified.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn info_events_stored_but_not_alerting() {
+        let (siem, clock) = siem();
+        clock.advance(5);
+        siem.ingest(vec![SecurityEvent::new(
+            clock.now_ms(),
+            "fds/broker",
+            EventKind::TokenIssued,
+            "maid-1",
+            "aud=ssh-ca",
+            Severity::Info,
+        )]);
+        assert_eq!(siem.event_count(), 1);
+        assert!(siem.alerts().is_empty());
+        assert_eq!(siem.events_of_kind(EventKind::TokenIssued).len(), 1);
+    }
+
+    #[test]
+    fn token_abuse_detected() {
+        let (siem, clock) = siem();
+        for _ in 0..5 {
+            clock.advance(10);
+            siem.ingest(vec![SecurityEvent::new(
+                clock.now_ms(),
+                "mdc/login01",
+                EventKind::TokenRejected,
+                "maid-1",
+                "bad signature",
+                Severity::Warning,
+            )]);
+        }
+        let alerts = siem.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, "token-abuse");
+        assert_eq!(alerts[0].recommendation, "revoke-subject");
+    }
+}

@@ -1,0 +1,27 @@
+//! # dri-sshca — SSH certificate authority and client
+//!
+//! User story 4 of the paper: SSH access to the clusters is never by
+//! public key alone — users present **short-lived SSH certificates**
+//! minted by an online CA in the Access Zone after an OIDC device-flow
+//! login. The certificate's principals are the user's *unique per-project
+//! UNIX accounts*, so possession of a certificate is simultaneously
+//! authentication and authorisation, and it all expires together.
+//!
+//! * [`cert`] — the certificate format (OpenSSH-shaped, Ed25519-signed)
+//!   with principals, validity window, critical options and extensions.
+//! * [`ca`] — the CA service: validates the broker-issued `ssh-ca` token,
+//!   pulls the subject's project accounts from the authorisation source,
+//!   and signs.
+//! * [`client`] — the laptop-side client: key generation, the device-flow
+//!   dance, and generation of transparent `ProxyJump` SSH aliases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ca;
+pub mod cert;
+pub mod client;
+
+pub use ca::{CaError, SshCa};
+pub use cert::{CertError, SshCertificate};
+pub use client::{SshAlias, SshCertClient};

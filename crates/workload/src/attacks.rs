@@ -1,0 +1,222 @@
+//! Attack scenario injectors for the SIEM detection experiment (E13).
+//!
+//! Each scenario drives the real control plane the way an attacker
+//! would — wrong passwords at the IdPs, forged/expired tokens at
+//! services, probing connections from a foothold — and returns ground
+//! truth so the experiment can score detection rate and latency.
+
+use dri_core::{Infrastructure, UNIVERSITY_IDP};
+use dri_crypto::ed25519::SigningKey;
+use dri_crypto::jwt::{sign, Claims, Signer};
+use dri_siem::events::{EventKind, Severity};
+
+/// Which attack to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackScenario {
+    /// Password spraying against one federated account.
+    CredentialStuffing {
+        /// Number of attempts.
+        attempts: usize,
+    },
+    /// Replay of forged / mis-signed tokens against the Jupyter
+    /// authenticator.
+    TokenForgery {
+        /// Number of forged tokens presented.
+        attempts: usize,
+    },
+    /// Lateral probing from a compromised login node.
+    LateralMovement {
+        /// Number of denied internal connections attempted.
+        probes: usize,
+    },
+}
+
+/// Ground truth + observed effects of an injected attack.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// The scenario.
+    pub scenario: AttackScenario,
+    /// Subject / source the attack ran against (what the SIEM should name).
+    pub expected_alert_subject: String,
+    /// The detection rule expected to fire.
+    pub expected_rule: &'static str,
+    /// Simulated time the attack began (ms).
+    pub started_at_ms: u64,
+    /// Attack operations that the control plane *rejected* (all of them,
+    /// if the design holds).
+    pub rejected: usize,
+    /// Attack operations attempted.
+    pub attempted: usize,
+}
+
+/// Run an attack scenario against the infrastructure.
+///
+/// Events flow into the SIEM exactly as they would in production: authn
+/// failures from the broker path, token rejections from the services,
+/// connection denials from the fabric (via `pump_network_logs`).
+pub fn run_attack(infra: &Infrastructure, scenario: AttackScenario) -> AttackOutcome {
+    let started_at_ms = infra.clock.now_ms();
+    match scenario {
+        AttackScenario::CredentialStuffing { attempts } => {
+            // The victim exists; the attacker does not know the password.
+            infra.create_federated_user("victim-cs", "the-real-password");
+            let mut rejected = 0;
+            for i in 0..attempts {
+                infra.clock.advance(500);
+                let result = infra.university_idp.authenticate(
+                    "victim-cs",
+                    &format!("guess-{i}"),
+                    None,
+                    UNIVERSITY_IDP,
+                );
+                if result.is_err() {
+                    rejected += 1;
+                    infra.emit(
+                        "fds/broker",
+                        EventKind::AuthnFailure,
+                        "victim-cs",
+                        format!("failed password attempt {i}"),
+                        Severity::Warning,
+                    );
+                }
+            }
+            AttackOutcome {
+                scenario,
+                expected_alert_subject: "victim-cs".into(),
+                expected_rule: "credential-stuffing",
+                started_at_ms,
+                rejected,
+                attempted: attempts,
+            }
+        }
+        AttackScenario::TokenForgery { attempts } => {
+            // Attacker signs tokens with their own key, hoping services
+            // don't really check. They do.
+            let rogue = SigningKey::from_seed(&[0xEE; 32]);
+            let mut rejected = 0;
+            for i in 0..attempts {
+                infra.clock.advance(500);
+                let mut claims = Claims::new(
+                    "https://broker.isambard.ac.uk",
+                    "mallory",
+                    "jupyter",
+                    infra.clock.now_secs(),
+                    900,
+                );
+                claims.roles = vec!["researcher".into()];
+                claims.token_id = format!("forged-{i}");
+                let forged = sign(&claims, &Signer::Ed25519(&rogue), "fds-key-1");
+                let result = infra
+                    .jupyter
+                    .spawn(&[("x-auth-token".into(), forged)]);
+                if result.is_err() {
+                    rejected += 1;
+                    infra.emit(
+                        "mdc/login01",
+                        EventKind::TokenRejected,
+                        "mallory",
+                        format!("forged token {i} rejected"),
+                        Severity::Warning,
+                    );
+                }
+            }
+            AttackOutcome {
+                scenario,
+                expected_alert_subject: "mallory".into(),
+                expected_rule: "token-abuse",
+                started_at_ms,
+                rejected,
+                attempted: attempts,
+            }
+        }
+        AttackScenario::LateralMovement { probes } => {
+            // A compromised login node probes the zones it should never
+            // reach.
+            infra.network.mark_compromised("mdc/login01", true);
+            let targets = [
+                ("mdc/mgmt01", "admin-api"),
+                ("sec/siem", "siem-api"),
+                ("fds/broker", "https"),
+            ];
+            let mut rejected = 0;
+            for i in 0..probes {
+                infra.clock.advance(500);
+                let (dst, svc) = targets[i % targets.len()];
+                if infra.network.connect("mdc/login01", dst, svc).is_err() {
+                    rejected += 1;
+                }
+            }
+            // The SWS log forwarder ships the denials to SEC.
+            infra.pump_network_logs();
+            AttackOutcome {
+                scenario,
+                expected_alert_subject: "mdc/login01".into(),
+                expected_rule: "lateral-movement",
+                started_at_ms,
+                rejected,
+                attempted: probes,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dri_core::InfraConfig;
+
+    #[test]
+    fn credential_stuffing_is_rejected_and_detected() {
+        let infra = Infrastructure::new(InfraConfig::default());
+        let outcome =
+            run_attack(&infra, AttackScenario::CredentialStuffing { attempts: 8 });
+        assert_eq!(outcome.rejected, 8, "every guess fails");
+        let alerts = infra.siem.alerts();
+        assert!(alerts.iter().any(|a| a.rule == "credential-stuffing"
+            && a.subject == outcome.expected_alert_subject));
+    }
+
+    #[test]
+    fn forged_tokens_rejected_and_detected() {
+        let infra = Infrastructure::new(InfraConfig::default());
+        let outcome = run_attack(&infra, AttackScenario::TokenForgery { attempts: 6 });
+        assert_eq!(outcome.rejected, 6, "signature checks hold");
+        assert!(infra
+            .siem
+            .alerts()
+            .iter()
+            .any(|a| a.rule == "token-abuse" && a.subject == "mallory"));
+        // No notebook was spawned.
+        assert_eq!(infra.jupyter.session_count(), 0);
+    }
+
+    #[test]
+    fn lateral_probes_blocked_and_detected() {
+        let infra = Infrastructure::new(InfraConfig::default());
+        // Clear construction-time logs first.
+        let _ = infra.network.drain_log();
+        let outcome = run_attack(&infra, AttackScenario::LateralMovement { probes: 6 });
+        assert_eq!(outcome.rejected, 6, "segmentation holds");
+        let alerts = infra.siem.alerts();
+        assert!(alerts
+            .iter()
+            .any(|a| a.rule == "lateral-movement" && a.subject == "mdc/login01"));
+    }
+
+    #[test]
+    fn detection_feeds_the_kill_switch() {
+        let infra = Infrastructure::new(InfraConfig::default());
+        let _ = infra.network.drain_log();
+        run_attack(&infra, AttackScenario::LateralMovement { probes: 6 });
+        let alert = infra
+            .siem
+            .alerts()
+            .into_iter()
+            .find(|a| a.rule == "lateral-movement")
+            .unwrap();
+        let action = infra.respond_to_alert(&alert);
+        assert!(action.contains("isolated host mdc/login01"));
+        // The host really is cut off now.
+        assert!(infra.network.check("sws/bastion", "mdc/login01", "ssh").is_err());
+    }
+}

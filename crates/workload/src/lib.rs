@@ -1,0 +1,22 @@
+//! # dri-workload — workload and attack generators
+//!
+//! Drives the assembled infrastructure the way the paper's evaluation
+//! did: onboarding populations of projects and users, the RSECon24-style
+//! concurrent login + notebook storm (45 trainees, swept to 1024 here),
+//! injected attack scenarios for the SIEM detection experiment, and the
+//! token-lifetime trade-off model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod lifetime;
+pub mod population;
+pub mod simulate;
+pub mod storm;
+
+pub use attacks::{run_attack, AttackOutcome, AttackScenario};
+pub use lifetime::{best_lifetime, sweep_lifetimes, LifetimePoint};
+pub use population::{build_population, Population, ProjectHandle};
+pub use simulate::{run_day, DayConfig, DayReport};
+pub use storm::{run_storm, StormMode, StormResult};

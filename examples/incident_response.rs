@@ -1,0 +1,85 @@
+//! Incident response walkthrough (E13 + E11): inject the three attack
+//! scenarios, watch the SIEM detect them, and run the automated response
+//! playbook — ending with the kill-switch containment of a compromised
+//! account that holds live sessions.
+//!
+//! ```sh
+//! cargo run --release --example incident_response
+//! ```
+
+use isambard_dri::core::{InfraConfig, Infrastructure};
+use isambard_dri::workload::{run_attack, AttackScenario};
+
+fn main() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    println!("== incident response walkthrough ==\n");
+
+    // A legitimate tenant is active while the attacks run.
+    infra.create_federated_user("alice", "pw");
+    infra.story1_onboard_pi("climate-llm", "alice", 100.0).expect("onboard");
+    let ssh = infra.story4_ssh_connect("alice", "climate-llm").expect("ssh");
+    infra
+        .story6_jupyter("alice", "climate-llm", "198.51.100.10")
+        .expect("jupyter");
+    println!(
+        "tenant alice active: shell {} + notebook ({} SIEM events so far)\n",
+        ssh.shell.id,
+        infra.siem.events_ingested()
+    );
+
+    // Scenario 1: password spraying.
+    let o1 = run_attack(&infra, AttackScenario::CredentialStuffing { attempts: 8 });
+    // Scenario 2: forged tokens at the Jupyter authenticator.
+    let o2 = run_attack(&infra, AttackScenario::TokenForgery { attempts: 6 });
+    // Scenario 3: lateral probing from a compromised login node.
+    let _ = infra.network.drain_log();
+    let o3 = run_attack(&infra, AttackScenario::LateralMovement { probes: 6 });
+
+    for (name, outcome) in [
+        ("credential stuffing", &o1),
+        ("token forgery", &o2),
+        ("lateral movement", &o3),
+    ] {
+        println!(
+            "attack: {name:<20} attempted={:<3} rejected={:<3} (design held: {})",
+            outcome.attempted,
+            outcome.rejected,
+            outcome.attempted == outcome.rejected
+        );
+    }
+
+    // What did the SOC see?
+    println!("\nSIEM alerts:");
+    for alert in infra.siem.alerts() {
+        println!(
+            "  [{}] {} on {:?} (evidence {} events) -> recommend {}",
+            alert.id, alert.rule, alert.subject, alert.evidence, alert.recommendation
+        );
+    }
+
+    // Run the playbook for each alert.
+    println!("\nautomated response:");
+    for alert in infra.siem.alerts() {
+        let action = infra.respond_to_alert(&alert);
+        println!("  {} -> {}", alert.rule, action);
+    }
+
+    // The compromised login node is now isolated; show the fabric agrees.
+    let isolated = infra
+        .network
+        .check("sws/bastion", "mdc/login01", "ssh")
+        .is_err();
+    println!("\nlogin node isolated by fabric: {isolated}");
+
+    // Finally: a targeted user kill for a stolen account with live access.
+    println!("\nkill switch drill on alice (who holds live sessions):");
+    let subject = infra.subject_of("alice").unwrap();
+    let report = infra.kill_user(&subject);
+    println!(
+        "  severed: {} bastion relays, {} shells, {} notebooks, {} jobs — instant",
+        report.bastion_sessions_cut, report.shells_cut, report.notebooks_cut, report.jobs_cancelled
+    );
+    println!("  re-login possible: {}", infra.federated_login("alice").is_ok());
+    infra.reinstate_user(&subject);
+    println!("  after reinstatement: {}", infra.federated_login("alice").is_ok());
+}

@@ -1,0 +1,18 @@
+//! # isambard-dri — umbrella crate
+//!
+//! Re-exports the full workspace so examples, integration tests, and
+//! downstream users can depend on a single crate. See the README for the
+//! architecture overview and DESIGN.md for the system inventory.
+
+pub use dri_broker as broker;
+pub use dri_clock as clock;
+pub use dri_cluster as cluster;
+pub use dri_core as core;
+pub use dri_crypto as crypto;
+pub use dri_federation as federation;
+pub use dri_netsim as netsim;
+pub use dri_policy as policy;
+pub use dri_portal as portal;
+pub use dri_siem as siem;
+pub use dri_sshca as sshca;
+pub use dri_workload as workload;

@@ -1,0 +1,93 @@
+//! E17 (extension) — GSCP Official-class projects: the dynamic policy
+//! raises the bar for handling-controlled workloads, exactly the "OFF"
+//! tier the paper says applies to the Isambard DRIs.
+
+use isambard_dri::core::{FlowError, InfraConfig, Infrastructure};
+use isambard_dri::portal::DataClass;
+
+fn with_official_project(label: &str, mfa: bool) -> (Infrastructure, String) {
+    let infra = Infrastructure::new(InfraConfig::default());
+    if mfa {
+        infra.create_federated_user_mfa(label, "pw");
+    } else {
+        infra.create_federated_user(label, "pw");
+    }
+    let outcome = infra.story1_onboard_pi("aisi-evals", label, 500.0).unwrap();
+    infra
+        .portal
+        .set_data_class("admin:ops", &outcome.project_id, DataClass::Official)
+        .unwrap();
+    (infra, outcome.project_id)
+}
+
+#[test]
+fn password_only_user_blocked_from_official_project() {
+    let (infra, _) = with_official_project("alice", false);
+    // Open-class access would pass, but the Official project demands the
+    // Elevated threshold, and a pwd-only login can't reach it.
+    let err = infra.story4_ssh_connect("alice", "aisi-evals").unwrap_err();
+    assert!(matches!(err, FlowError::PolicyDenied(_)), "{err:?}");
+    let err = infra
+        .story6_jupyter("alice", "aisi-evals", "198.51.100.40")
+        .unwrap_err();
+    assert!(matches!(err, FlowError::PolicyDenied(_)));
+}
+
+#[test]
+fn mfa_enrolled_user_passes_official_threshold() {
+    let (infra, _) = with_official_project("bob", true);
+    // bob authenticated with pwd+totp at his IdP: over the Elevated bar.
+    let session_subject = infra.subject_of("bob").unwrap();
+    let session_id = infra.session_of("bob").unwrap();
+    let session = infra.broker.session(&session_id).unwrap();
+    assert_eq!(session.acr, "pwd+totp");
+    assert_eq!(session.subject, session_subject);
+    let ssh = infra.story4_ssh_connect("bob", "aisi-evals").unwrap();
+    assert_eq!(ssh.shell.project, "aisi-evals");
+    assert!(infra
+        .story6_jupyter("bob", "aisi-evals", "198.51.100.41")
+        .is_ok());
+}
+
+#[test]
+fn same_user_open_project_unaffected() {
+    let (infra, _) = with_official_project("alice", false);
+    // Give alice a second, open project.
+    let now = infra.clock.now_secs();
+    let (_, inv) = infra
+        .portal
+        .create_project(
+            "admin:ops",
+            "open-science",
+            isambard_dri::portal::Allocation::gpu(10.0),
+            now,
+            now + 100_000,
+            "alice@x",
+        )
+        .unwrap();
+    let cuid = infra.subject_of("alice").unwrap();
+    let m = infra.portal.accept_invitation(&inv.token, &cuid, true).unwrap();
+    infra.login_node.provision_account(&m.unix_account, "open-science");
+    // Open project works with password-only auth; Official still blocked.
+    assert!(infra.story4_ssh_connect("alice", "open-science").is_ok());
+    assert!(infra.story4_ssh_connect("alice", "aisi-evals").is_err());
+}
+
+#[test]
+fn only_allocators_classify_projects() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    infra.create_federated_user("alice", "pw");
+    let outcome = infra.story1_onboard_pi("p", "alice", 1.0).unwrap();
+    assert!(infra
+        .portal
+        .set_data_class(&outcome.cuid, &outcome.project_id, DataClass::Official)
+        .is_err());
+    assert!(infra
+        .portal
+        .set_data_class("admin:ops", &outcome.project_id, DataClass::Official)
+        .is_ok());
+    assert_eq!(
+        infra.portal.project(&outcome.project_id).unwrap().data_class,
+        DataClass::Official
+    );
+}

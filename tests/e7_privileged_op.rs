@@ -1,0 +1,99 @@
+//! E7 — user story 5: privileged operations through layered enforcement.
+
+use isambard_dri::cluster::{MgmtError, MgmtOp, TransportPath};
+use isambard_dri::core::{FlowError, InfraConfig, Infrastructure};
+
+#[test]
+fn privileged_op_end_to_end() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    infra.story2_register_admin("dave").unwrap();
+    // Seed a job to cancel.
+    infra.scheduler.submit("u-rogue", "p", "gh", 1, 1000).unwrap();
+    infra.scheduler.tick();
+
+    let outcome = infra
+        .story5_privileged_op("dave", MgmtOp::CancelUserJobs("u-rogue".into()))
+        .unwrap();
+    assert_eq!(outcome.detail, "cancelled 1 jobs of u-rogue");
+    // Every layer appears in the trace.
+    assert!(outcome.trace.iter().any(|s| s.contains("tailnet: enrol")));
+    assert!(outcome.trace.iter().any(|s| s.contains("encrypted command")));
+    assert!(outcome.trace.iter().any(|s| s.contains("cluster-ACL")));
+    // And the op is in the management audit log.
+    assert_eq!(infra.mgmt.audit_log().len(), 1);
+}
+
+#[test]
+fn researcher_cannot_perform_privileged_ops() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    infra.create_federated_user("alice", "pw");
+    infra.story1_onboard_pi("p", "alice", 10.0).unwrap();
+    // The PDP (critical sensitivity) or the broker stops her well before
+    // the management plane.
+    let err = infra
+        .story5_privileged_op("alice", MgmtOp::Health)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        FlowError::PolicyDenied(_) | FlowError::Broker(_)
+    ));
+    assert!(infra.mgmt.audit_log().is_empty());
+}
+
+#[test]
+fn direct_transport_rejected_even_with_valid_token() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    infra.story2_register_admin("dave").unwrap();
+    let (token, _) = infra.token_for("dave", "mgmt-cluster", vec![]).unwrap();
+    assert_eq!(
+        infra
+            .mgmt
+            .execute(TransportPath::Direct, &token, MgmtOp::Health)
+            .unwrap_err(),
+        MgmtError::WrongTransport
+    );
+}
+
+#[test]
+fn tailnet_kill_switch_stops_admin_ops() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    infra.story2_register_admin("dave").unwrap();
+    infra.kill_tailnet();
+    assert!(matches!(
+        infra.story5_privileged_op("dave", MgmtOp::Health),
+        Err(FlowError::Tailnet(_))
+    ));
+    infra.tailnet.restore();
+    assert!(infra.story5_privileged_op("dave", MgmtOp::Health).is_ok());
+}
+
+#[test]
+fn cluster_acl_removal_is_an_independent_layer() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    let outcome = infra.story2_register_admin("dave").unwrap();
+    infra.mgmt.acl_remove(&outcome.subject);
+    assert!(matches!(
+        infra.story5_privileged_op("dave", MgmtOp::Health),
+        Err(FlowError::Mgmt(MgmtError::NotOnClusterAcl))
+    ));
+}
+
+#[test]
+fn admin_token_expiry_forces_fresh_issuance() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    infra.story2_register_admin("dave").unwrap();
+    let (token, _) = infra.token_for("dave", "mgmt-cluster", vec![]).unwrap();
+    infra.clock.advance_secs(infra.config.admin_token_ttl_secs + 1);
+    assert!(matches!(
+        infra
+            .mgmt
+            .execute(TransportPath::Tailnet, &token, MgmtOp::Health),
+        Err(MgmtError::BadToken(_))
+    ));
+    // A fresh token from the still-live session works.
+    let (token2, _) = infra.token_for("dave", "mgmt-cluster", vec![]).unwrap();
+    assert!(infra
+        .mgmt
+        .execute(TransportPath::Tailnet, &token2, MgmtOp::Health)
+        .is_ok());
+}

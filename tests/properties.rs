@@ -1,0 +1,175 @@
+//! Property-based tests over the core data structures and invariants.
+
+use isambard_dri::crypto::{base64, ed25519, hex, json, sha2};
+use isambard_dri::sshca::SshCertificate;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- codecs ---------------------------------------------------------
+
+    #[test]
+    fn base64_url_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let encoded = base64::encode_url(&data);
+        prop_assert_eq!(base64::decode_url(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn base64_std_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let encoded = base64::encode(&data, base64::Variant::Standard);
+        prop_assert_eq!(base64::decode(&encoded, base64::Variant::Standard).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn json_string_roundtrip(s in "\\PC{0,64}") {
+        let v = json::Value::Str(s.clone());
+        let parsed = json::Value::parse(&v.to_json()).unwrap();
+        prop_assert_eq!(parsed, json::Value::Str(s));
+    }
+
+    #[test]
+    fn json_nested_roundtrip(
+        keys in proptest::collection::vec("[a-z]{1,8}", 1..6),
+        nums in proptest::collection::vec(-1_000_000i64..1_000_000, 1..6),
+    ) {
+        let mut obj = json::Value::Obj(Default::default());
+        for (k, n) in keys.iter().zip(nums.iter()) {
+            obj.set(k.clone(), json::Value::i(*n));
+        }
+        let parsed = json::Value::parse(&obj.to_json()).unwrap();
+        prop_assert_eq!(parsed, obj);
+    }
+
+    // --- hashing --------------------------------------------------------
+
+    #[test]
+    fn sha256_streaming_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let split = split.min(data.len());
+        let mut h = sha2::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha2::sha256(&data));
+    }
+
+    // --- signatures -----------------------------------------------------
+
+    #[test]
+    fn ed25519_sign_verify(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let sk = ed25519::SigningKey::from_seed(&seed);
+        let sig = sk.sign(&msg);
+        prop_assert!(sk.verifying_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn ed25519_rejects_bitflips(
+        seed in any::<[u8; 32]>(),
+        msg in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let sk = ed25519::SigningKey::from_seed(&seed);
+        let mut sig = sk.sign(&msg);
+        sig[flip_byte] ^= 1 << flip_bit;
+        prop_assert!(!sk.verifying_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn scalar_mul_commutes(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let sa = ed25519::Scalar::from_bytes(&a);
+        let sb = ed25519::Scalar::from_bytes(&b);
+        prop_assert_eq!(sa.mul(sb), sb.mul(sa));
+        prop_assert_eq!(sa.add(sb), sb.add(sa));
+    }
+
+    // --- SSH certificates -------------------------------------------------
+
+    #[test]
+    fn cert_wire_roundtrip(
+        seed in any::<[u8; 32]>(),
+        serial in any::<u64>(),
+        key_id in "[a-z0-9-]{1,24}",
+        principals in proptest::collection::vec("[a-z0-9]{4,12}", 0..5),
+        start in 0u64..1_000_000,
+        ttl in 1u64..1_000_000,
+    ) {
+        let ca = ed25519::SigningKey::from_seed(&seed);
+        let cert = SshCertificate {
+            public_key: [7u8; 32],
+            serial,
+            key_id: key_id.clone(),
+            principals: principals.clone(),
+            valid_after: start,
+            valid_before: start + ttl,
+            critical_options: vec![],
+            extensions: vec!["permit-pty".into()],
+            signature: [0u8; 64],
+        }.signed(&ca);
+        let parsed = SshCertificate::from_wire(&cert.to_wire()).unwrap();
+        prop_assert_eq!(&parsed, &cert);
+        // Verification succeeds inside the window, fails outside.
+        prop_assert!(parsed.verify(&ca.verifying_key(), start, None).is_ok());
+        prop_assert!(parsed.verify(&ca.verifying_key(), start + ttl, None).is_err());
+        // Unlisted principals always rejected.
+        prop_assert!(parsed.verify(&ca.verifying_key(), start, Some("not-a-principal")).is_err());
+    }
+}
+
+// --- infrastructure invariants (non-proptest: expensive to build) --------
+
+mod infra_invariants {
+    use isambard_dri::broker::AuthorizationSource;
+    use isambard_dri::core::{InfraConfig, Infrastructure};
+
+    /// Default-deny: the attacker host can never reach any non-Access
+    /// service regardless of name, for several seeds.
+    #[test]
+    fn no_seed_opens_hidden_paths() {
+        for seed in [1u64, 7, 42, 1234] {
+            let mut cfg = InfraConfig::default();
+            cfg.seed = seed;
+            let infra = Infrastructure::new(cfg);
+            for (src, dst, service, allowed) in infra.reachability_matrix() {
+                if src.starts_with("internet") && allowed {
+                    assert!(
+                        (dst.starts_with("fds/") && service == "https")
+                            || (dst == "sws/bastion" && service == "ssh"),
+                        "seed {seed}: leak {src}->{dst} {service}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// No global admin: no single subject holds roles on every audience.
+    #[test]
+    fn no_subject_has_global_roles() {
+        let infra = Infrastructure::new(InfraConfig::default());
+        infra.create_federated_user("alice", "pw");
+        infra.story1_onboard_pi("p", "alice", 10.0).unwrap();
+        infra.story2_register_admin("dave").unwrap();
+        let audiences = ["ssh-ca", "jupyter", "slurm", "portal", "mgmt-tailnet", "mgmt-cluster"];
+        for subject in [
+            infra.subject_of("alice").unwrap(),
+            infra.subject_of("dave").unwrap(),
+            "admin:ops".to_string(),
+        ] {
+            let covered = audiences
+                .iter()
+                .filter(|a| !infra.portal.roles_for(&subject, a).is_empty())
+                .count();
+            assert!(
+                covered < audiences.len(),
+                "{subject} holds roles on every audience"
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Cross-crate token lifecycle: refresh rotation, token exchange, step-up
+//! authentication, and leeway semantics — the broker extensions beyond
+//! the paper's deployed feature set.
+
+use isambard_dri::broker::{OidcClient, OidcError};
+use isambard_dri::core::{InfraConfig, Infrastructure};
+use isambard_dri::crypto::json::Value;
+
+fn onboarded() -> Infrastructure {
+    let infra = Infrastructure::new(InfraConfig::default());
+    infra.create_federated_user("alice", "pw");
+    infra.story1_onboard_pi("p", "alice", 100.0).unwrap();
+    infra
+}
+
+#[test]
+fn refresh_token_keeps_a_web_session_alive_without_reauth() {
+    let infra = onboarded();
+    let session_id = infra.session_of("alice").unwrap();
+    let verifier = "portal-verifier";
+    let code = infra
+        .oidc
+        .authorize(
+            "portal-web",
+            "https://isambard.example/portal/callback",
+            &isambard_dri::broker::OidcProvider::s256(verifier),
+            &session_id,
+        )
+        .unwrap();
+    let (_access, claims, refresh) = infra
+        .oidc
+        .exchange_code_with_refresh("portal-web", &code, verifier)
+        .unwrap();
+    assert_eq!(claims.audience, "portal");
+    // The access token expires; the refresh grant renews it silently.
+    infra.clock.advance_secs(3601);
+    let (access2, claims2, refresh2) = infra.oidc.refresh("portal-web", &refresh).unwrap();
+    assert!(infra
+        .broker
+        .jwks()
+        .validate(&access2, "portal", infra.clock.now_secs())
+        .is_ok());
+    assert_eq!(claims2.subject, claims.subject);
+    assert_ne!(refresh, refresh2, "rotation");
+}
+
+#[test]
+fn stolen_refresh_token_replay_is_contained() {
+    let infra = onboarded();
+    let session_id = infra.session_of("alice").unwrap();
+    let verifier = "v";
+    let code = infra
+        .oidc
+        .authorize(
+            "portal-web",
+            "https://isambard.example/portal/callback",
+            &isambard_dri::broker::OidcProvider::s256(verifier),
+            &session_id,
+        )
+        .unwrap();
+    let (_t, _c, rt) = infra
+        .oidc
+        .exchange_code_with_refresh("portal-web", &code, verifier)
+        .unwrap();
+    // Legitimate client refreshes…
+    let _ = infra.oidc.refresh("portal-web", &rt).unwrap();
+    // …then a thief replays the old token: the session is revoked.
+    assert_eq!(infra.oidc.refresh("portal-web", &rt), Err(OidcError::BadCode));
+    assert!(infra.broker.session(&session_id).is_none());
+    // The owner re-authenticates and continues (containment, not lockout).
+    assert!(infra.federated_login("alice").is_ok());
+}
+
+#[test]
+fn token_exchange_lets_jupyter_submit_on_behalf_of_user() {
+    let infra = onboarded();
+    // The user's jupyter token…
+    let (jupyter_token, jc) = infra
+        .token_for(
+            "alice",
+            "jupyter",
+            vec![("unix_account".into(), Value::s("u-x"))],
+        )
+        .unwrap();
+    // …is exchanged by the Jupyter service for a slurm-scoped token.
+    let (slurm_token, sc) = infra
+        .broker
+        .exchange_token(&jupyter_token, "jupyter", "slurm")
+        .unwrap();
+    assert_eq!(sc.subject, jc.subject);
+    assert_eq!(sc.extra_claim("act").and_then(Value::as_str), Some("jupyter"));
+    assert!(sc.expires_at <= jc.expires_at);
+    assert!(infra
+        .broker
+        .jwks()
+        .validate(&slurm_token, "slurm", infra.clock.now_secs())
+        .is_ok());
+    // A revoked user's token cannot be exchanged.
+    let subject = infra.subject_of("alice").unwrap();
+    infra.broker.revoke_subject(&subject);
+    assert!(infra
+        .broker
+        .exchange_token(&jupyter_token, "jupyter", "slurm")
+        .is_err());
+}
+
+#[test]
+fn step_up_unlocks_official_class_work_mid_session() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    infra.create_federated_user("alice", "pw"); // password-only IdP login
+    let outcome = infra.story1_onboard_pi("aisi-evals", "alice", 100.0).unwrap();
+    infra
+        .portal
+        .set_data_class("admin:ops", &outcome.project_id, isambard_dri::portal::DataClass::Official)
+        .unwrap();
+    // pwd-only: blocked by the Elevated threshold.
+    assert!(infra.story4_ssh_connect("alice", "aisi-evals").is_err());
+    // She completes a second factor; the broker steps the session up.
+    infra
+        .broker
+        .step_up_session(&outcome.session_id, "pwd+totp")
+        .unwrap();
+    assert!(infra.story4_ssh_connect("alice", "aisi-evals").is_ok());
+}
+
+#[test]
+fn oidc_client_registration_is_exact_match() {
+    let infra = onboarded();
+    infra.oidc.register_client(OidcClient {
+        client_id: "new-app".into(),
+        redirect_uri: "https://app.example/cb".into(),
+        audience: "portal".into(),
+    });
+    let session_id = infra.session_of("alice").unwrap();
+    let challenge = isambard_dri::broker::OidcProvider::s256("v");
+    // Sub-path and scheme variations are rejected.
+    for bad in [
+        "https://app.example/cb/extra",
+        "http://app.example/cb",
+        "https://app.example/CB",
+    ] {
+        assert_eq!(
+            infra.oidc.authorize("new-app", bad, &challenge, &session_id),
+            Err(OidcError::RedirectMismatch),
+            "{bad}"
+        );
+    }
+    assert!(infra
+        .oidc
+        .authorize("new-app", "https://app.example/cb", &challenge, &session_id)
+        .is_ok());
+}
