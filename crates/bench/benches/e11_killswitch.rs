@@ -33,10 +33,7 @@ fn print_report() {
     let report = infra.kill_user(&subject);
     println!(
         "kill_user severed: bastion={} shells={} notebooks={} jobs={} (same simulated instant)",
-        report.bastion_sessions_cut,
-        report.shells_cut,
-        report.notebooks_cut,
-        report.jobs_cancelled
+        report.bastion_sessions_cut, report.shells_cut, report.notebooks_cut, report.jobs_cancelled
     );
     println!(
         "after: bastion={} shells={} notebooks={} running-jobs={}",

@@ -48,9 +48,11 @@ fn print_report() {
 
     // System consequence: tokens minted per user-day at two TTLs.
     for ttl in [900u64, 8 * 3600] {
-        let mut cfg = InfraConfig::default();
-        cfg.ssh_token_ttl_secs = ttl;
-        cfg.cert_ttl_secs = ttl.max(3600);
+        let cfg = InfraConfig {
+            ssh_token_ttl_secs: ttl,
+            cert_ttl_secs: ttl.max(3600),
+            ..InfraConfig::default()
+        };
         let infra = Infrastructure::new(cfg);
         infra.create_federated_user("alice", "pw");
         infra.story1_onboard_pi("p", "alice", 100.0).unwrap();
@@ -68,11 +70,11 @@ fn print_report() {
 }
 
 fn format_ttl(secs: u64) -> String {
-    if secs % (24 * 3600) == 0 && secs >= 24 * 3600 {
+    if secs.is_multiple_of(24 * 3600) && secs >= 24 * 3600 {
         format!("{}d", secs / (24 * 3600))
-    } else if secs % 3600 == 0 && secs >= 3600 {
+    } else if secs.is_multiple_of(3600) && secs >= 3600 {
         format!("{}h", secs / 3600)
-    } else if secs % 60 == 0 {
+    } else if secs.is_multiple_of(60) {
         format!("{}m", secs / 60)
     } else {
         format!("{secs}s")
@@ -91,7 +93,8 @@ fn benches(c: &mut Criterion) {
         let jwks = infra.broker.jwks();
         b.iter(|| {
             let (token, _) = infra.token_for("alice", "ssh-ca", vec![]).unwrap();
-            jwks.validate(&token, "ssh-ca", infra.clock.now_secs()).unwrap()
+            jwks.validate(&token, "ssh-ca", infra.clock.now_secs())
+                .unwrap()
         })
     });
 }

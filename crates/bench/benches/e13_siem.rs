@@ -13,9 +13,18 @@ fn print_report() {
         "scenario", "attempted", "rejected", "detected", "latency(ms)"
     );
     let scenarios = [
-        ("credential-stuffing", AttackScenario::CredentialStuffing { attempts: 8 }),
-        ("token-forgery", AttackScenario::TokenForgery { attempts: 6 }),
-        ("lateral-movement", AttackScenario::LateralMovement { probes: 6 }),
+        (
+            "credential-stuffing",
+            AttackScenario::CredentialStuffing { attempts: 8 },
+        ),
+        (
+            "token-forgery",
+            AttackScenario::TokenForgery { attempts: 6 },
+        ),
+        (
+            "lateral-movement",
+            AttackScenario::LateralMovement { probes: 6 },
+        ),
     ];
     for (name, scenario) in scenarios {
         let infra = Infrastructure::new(InfraConfig::default());

@@ -107,7 +107,10 @@ fn benches(c: &mut Criterion) {
         b.iter(|| black_box(jwt::sign(&claims, &Signer::Ed25519(&sk), "kid-1")))
     });
     c.bench_function("e14/jwt_verify_eddsa", |b| {
-        let validation = Validation { now: 1100, ..Default::default() };
+        let validation = Validation {
+            now: 1100,
+            ..Default::default()
+        };
         b.iter(|| jwt::verify(&token, &Verifier::Ed25519(&pk), &validation).unwrap())
     });
 }

@@ -34,8 +34,10 @@ fn print_report() {
     println!("  full co-design: {p}/{t}");
 
     // Ablation: year-long certificates break tenet 3 and nothing else.
-    let mut cfg = InfraConfig::default();
-    cfg.cert_ttl_secs = 365 * 24 * 3600;
+    let cfg = InfraConfig {
+        cert_ttl_secs: 365 * 24 * 3600,
+        ..InfraConfig::default()
+    };
     let ablated = exercised(cfg);
     let audit2 = ablated.tenet_audit();
     println!(
@@ -61,7 +63,11 @@ fn print_report() {
         telemetry_sources: 0,
     };
     let audit3 = TenetAudit::run(&perimeter);
-    println!("  perimeter baseline: {}/{} pass", audit3.score().0, audit3.score().1);
+    println!(
+        "  perimeter baseline: {}/{} pass",
+        audit3.score().0,
+        audit3.score().1
+    );
 }
 
 fn benches(c: &mut Criterion) {
@@ -78,7 +84,9 @@ fn benches(c: &mut Criterion) {
         b.iter(|| black_box(TenetAudit::run(&ev).score()))
     });
     c.bench_function("e15/pdp_decision", |b| {
-        use dri_policy::{AccessRequest, DevicePosture, PolicyDecisionPoint, Sensitivity, SourceZone};
+        use dri_policy::{
+            AccessRequest, DevicePosture, PolicyDecisionPoint, Sensitivity, SourceZone,
+        };
         let pdp = PolicyDecisionPoint::default();
         let req = AccessRequest {
             subject: "maid-1".into(),

@@ -28,10 +28,20 @@ fn benches(c: &mut Criterion) {
         b.iter(|| black_box(infra.reachability_matrix().len()))
     });
     c.bench_function("e1/single_check_allowed", |b| {
-        b.iter(|| infra.network.check("internet/user", "sws/bastion", "ssh").is_ok())
+        b.iter(|| {
+            infra
+                .network
+                .check("internet/user", "sws/bastion", "ssh")
+                .is_ok()
+        })
     });
     c.bench_function("e1/single_check_denied", |b| {
-        b.iter(|| infra.network.check("internet/attacker", "mdc/mgmt01", "admin-api").is_err())
+        b.iter(|| {
+            infra
+                .network
+                .check("internet/attacker", "mdc/mgmt01", "admin-api")
+                .is_err()
+        })
     });
 }
 

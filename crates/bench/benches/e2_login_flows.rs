@@ -12,7 +12,10 @@ fn print_report() {
     println!(
         "discovery list: {} R&S-compliant IdP(s): {:?}",
         discovery.len(),
-        discovery.iter().map(|d| d.display_name.as_str()).collect::<Vec<_>>()
+        discovery
+            .iter()
+            .map(|d| d.display_name.as_str())
+            .collect::<Vec<_>>()
     );
 
     // Federated (needs a grant first — authorisation-led).
@@ -77,7 +80,14 @@ fn benches(c: &mut Criterion) {
         let now = infra.clock.now_secs();
         let (_, inv) = infra
             .portal
-            .create_project("admin:ops", "vp", dri_portal::Allocation::gpu(1.0), now, now + 100_000, "v@c")
+            .create_project(
+                "admin:ops",
+                "vp",
+                dri_portal::Allocation::gpu(1.0),
+                now,
+                now + 100_000,
+                "v@c",
+            )
             .unwrap();
         infra
             .portal

@@ -37,7 +37,12 @@ fn benches(c: &mut Criterion) {
         infra.create_federated_user("alice", "pw");
         infra.story1_onboard_pi("p", "alice", 1.0).unwrap();
         let (token, _) = infra.token_for("alice", "ssh-ca", vec![]).unwrap();
-        b.iter(|| infra.ssh_ca.sign_request(black_box(&token), [5u8; 32]).unwrap())
+        b.iter(|| {
+            infra
+                .ssh_ca
+                .sign_request(black_box(&token), [5u8; 32])
+                .unwrap()
+        })
     });
 
     // Login-node verification alone (cert + possession proof).

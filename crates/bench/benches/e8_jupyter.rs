@@ -24,10 +24,12 @@ fn print_report() {
 
 fn benches(c: &mut Criterion) {
     c.bench_function("e8/story6_full_path", |b| {
-        let mut cfg = InfraConfig::default();
-        cfg.jupyter_capacity = usize::MAX / 2;
-        cfg.interactive_nodes = u32::MAX / 2;
-        cfg.edge_threshold = usize::MAX / 2;
+        let cfg = InfraConfig::builder()
+            .jupyter_capacity(usize::MAX / 2)
+            .interactive_nodes(u32::MAX / 2)
+            .edge_threshold(usize::MAX / 2)
+            .build()
+            .expect("bench config is valid");
         let infra = Infrastructure::new(cfg);
         infra.create_federated_user("alice", "pw");
         infra.story1_onboard_pi("p", "alice", 1.0).unwrap();
@@ -42,8 +44,10 @@ fn benches(c: &mut Criterion) {
     });
 
     c.bench_function("e8/unauthenticated_401", |b| {
-        let mut cfg = InfraConfig::default();
-        cfg.edge_threshold = usize::MAX / 2;
+        let cfg = InfraConfig::builder()
+            .edge_threshold(usize::MAX / 2)
+            .build()
+            .expect("bench config is valid");
         let infra = Infrastructure::new(cfg);
         b.iter(|| {
             let r = infra
@@ -51,7 +55,11 @@ fn benches(c: &mut Criterion) {
                 .handle(
                     &infra.tunnel,
                     "203.0.113.77",
-                    HttpRequest { path: "/jupyter".into(), headers: vec![], body: vec![] },
+                    HttpRequest {
+                        path: "/jupyter".into(),
+                        headers: vec![],
+                        body: vec![],
+                    },
                 )
                 .unwrap();
             assert_eq!(r.status, 401);

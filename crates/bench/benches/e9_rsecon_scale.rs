@@ -5,6 +5,13 @@
 //! at N=45 (serial + parallel), sweep N, and report throughput + tail
 //! latency. Shape to hold: zero authorisation failures at 45, sub-linear
 //! tail growth with N.
+//!
+//! The sweep also compares the sharded identity hot path against the
+//! coarse-lock baseline (`broker_shards(1)` reinstates the old
+//! one-`RwLock` broker, which held the lock across JWT signing): both
+//! throughputs are printed, and at N ≥ 256 the sharded broker must
+//! clear 2× the coarse baseline (enforced when the host has enough
+//! cores for thread parallelism to exist at all).
 
 use criterion::{BatchSize, BenchmarkId, Criterion, Throughput};
 use dri_core::{InfraConfig, Infrastructure};
@@ -17,41 +24,82 @@ fn storm_users(infra: &Infrastructure, n: usize) -> Vec<(String, String)> {
         .iter()
         .flat_map(|p| {
             std::iter::once((p.pi_label.clone(), p.name.clone())).chain(
-                p.researcher_labels.iter().map(|r| (r.clone(), p.name.clone())),
+                p.researcher_labels
+                    .iter()
+                    .map(|r| (r.clone(), p.name.clone())),
             )
         })
         .take(n)
         .collect()
 }
 
-fn big_config() -> InfraConfig {
-    let mut cfg = InfraConfig::default();
-    cfg.jupyter_capacity = 4096;
-    cfg.interactive_nodes = 4096;
-    cfg.edge_threshold = usize::MAX / 2;
-    cfg
+fn big_config(broker_shards: usize) -> InfraConfig {
+    InfraConfig::builder()
+        .jupyter_capacity(4096)
+        .interactive_nodes(4096)
+        .edge_threshold(usize::MAX / 2)
+        .broker_shards(broker_shards)
+        .build()
+        .expect("bench config is valid")
+}
+
+/// One storm at `n` users over `workers` threads against a fresh
+/// infrastructure with `shards` broker shards; returns (flows/s, p50,
+/// p99, steps).
+fn storm_run(n: usize, workers: usize, shards: usize) -> (f64, u64, u64, usize) {
+    let infra = Infrastructure::new(big_config(shards));
+    let users = storm_users(&infra, n);
+    let result = run_storm(&infra, &users, StormMode::Parallel(workers));
+    assert_eq!(result.completed, n, "failures: {:?}", result.failures);
+    (
+        result.throughput(),
+        result.latency_quantile(0.50),
+        result.latency_quantile(0.99),
+        result.steps_per_flow,
+    )
 }
 
 fn print_report() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("== E9: RSECon24 storm (45 concurrent) + sweep ==");
+    println!("coarse = broker_shards(1) (single RwLock held across signing)");
+    println!("sharded = broker_shards(16), 8 workers either way, {cores} core(s)");
+    if cores < 4 {
+        println!(
+            "NOTE: <4 cores — the >=2x sharded-vs-coarse gate needs real \
+             parallelism and is reported but not enforced here"
+        );
+    }
+    println!();
     println!(
-        "{:>6} {:>6} {:>10} {:>10} {:>10} {:>12}",
-        "users", "ok", "steps", "p50(µs)", "p99(µs)", "flows/s"
+        "{:>6} {:>6} {:>10} {:>10} {:>12} {:>13} {:>8}",
+        "users", "steps", "p50(µs)", "p99(µs)", "coarse f/s", "sharded f/s", "speedup"
     );
     for n in [8usize, 16, 32, 45, 64, 128, 256, 512] {
-        let infra = Infrastructure::new(big_config());
-        let users = storm_users(&infra, n);
-        let result = run_storm(&infra, &users, StormMode::Parallel(8));
+        let (coarse_fps, _, _, _) = storm_run(n, 8, 1);
+        let (sharded_fps, p50, p99, steps) = storm_run(n, 8, 16);
+        let speedup = sharded_fps / coarse_fps.max(f64::MIN_POSITIVE);
         println!(
-            "{:>6} {:>6} {:>10} {:>10} {:>10} {:>12.0}",
-            n,
-            result.completed,
-            result.steps_per_flow,
-            result.latency_quantile(0.50),
-            result.latency_quantile(0.99),
-            result.throughput()
+            "{:>6} {:>6} {:>10} {:>10} {:>12.0} {:>13.0} {:>7.2}x",
+            n, steps, p50, p99, coarse_fps, sharded_fps, speedup
         );
-        assert_eq!(result.completed, n, "failures: {:?}", result.failures);
+        if n >= 256 && cores >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "sharded broker must clear 2x the coarse baseline at N={n} \
+                 (got {speedup:.2}x: coarse {coarse_fps:.0} f/s, sharded {sharded_fps:.0} f/s)"
+            );
+        }
+    }
+
+    println!("\n-- worker-count sweep, N=256, sharded broker --");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "workers", "flows/s", "p50(µs)", "p99(µs)"
+    );
+    for workers in [1usize, 2, 4, 8, 16] {
+        let (fps, p50, p99, _) = storm_run(256, workers, 16);
+        println!("{workers:>8} {fps:>12.0} {p50:>10} {p99:>10}");
     }
 }
 
@@ -63,7 +111,21 @@ fn benches(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("storm_parallel", n), &n, |b, &n| {
             b.iter_batched(
                 || {
-                    let infra = Infrastructure::new(big_config());
+                    let infra = Infrastructure::new(big_config(16));
+                    let users = storm_users(&infra, n);
+                    (infra, users)
+                },
+                |(infra, users)| {
+                    let r = run_storm(&infra, &users, StormMode::Parallel(8));
+                    assert_eq!(r.completed, n);
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("storm_coarse", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let infra = Infrastructure::new(big_config(1));
                     let users = storm_users(&infra, n);
                     (infra, users)
                 },
@@ -77,7 +139,7 @@ fn benches(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("storm_serial", n), &n, |b, &n| {
             b.iter_batched(
                 || {
-                    let infra = Infrastructure::new(big_config());
+                    let infra = Infrastructure::new(big_config(16));
                     let users = storm_users(&infra, n);
                     (infra, users)
                 },

@@ -1,7 +1,8 @@
 //! The identity broker: sessions, per-service token policies, JWKS with
 //! rotation, and revocation.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dri_clock::{IdGen, SimClock};
@@ -11,6 +12,7 @@ use dri_crypto::jwt::{self, Claims, Signer, Validation, Verifier};
 use dri_federation::assertion::{Assertion, AssertionError};
 use dri_federation::metadata::{EntityKind, FederationRegistry};
 use dri_federation::types::LevelOfAssurance;
+use dri_sync::{clamp_shards, hash_key, shard_index, ShardMap, ShardSet, Snapshot};
 use parking_lot::RwLock;
 
 use crate::authz::AuthorizationSource;
@@ -136,10 +138,18 @@ impl std::error::Error for BrokerError {}
 
 /// A snapshot of the broker's public keys, distributed to relying
 /// services so they can validate tokens locally (OIDC JWKS document).
+///
+/// Snapshots are immutable: the broker publishes a fresh one (with a
+/// bumped [`Jwks::epoch`]) only when the key ring changes (rotation or
+/// prune). Relying services hold the snapshot behind a
+/// [`dri_sync::Snapshot`] cell and validate without taking any broker
+/// lock; comparing epochs tells a cache whether it is stale.
 #[derive(Debug, Clone)]
 pub struct Jwks {
     /// Issuer the keys belong to.
     pub issuer: String,
+    /// Key-ring generation; bumped by every rotation or prune.
+    pub epoch: u64,
     keys: HashMap<String, VerifyingKey>,
 }
 
@@ -171,32 +181,60 @@ impl Jwks {
     }
 }
 
-struct BrokerState {
-    signing_keys: Vec<(String, SigningKey)>, // last entry is active
-    sessions: HashMap<String, SessionInfo>,
-    policies: HashMap<String, TokenPolicy>,
-    revoked_tokens: HashSet<String>,
-    revoked_subjects: HashSet<String>,
-    active_tokens: HashMap<String, (String, u64)>, // jti -> (subject, exp)
-    tokens_issued: u64,
+/// The signing-key ring, published as an immutable snapshot. The last
+/// entry is the active key; older entries stay for validating in-flight
+/// tokens until pruned.
+struct SignerRing {
+    keys: Vec<(String, SigningKey)>,
 }
 
+/// Default number of shards per concurrent map (power of two).
+pub const DEFAULT_BROKER_SHARDS: usize = 16;
+
 /// The Front Door identity broker.
+///
+/// Hot-path state is sharded so parallel login storms touching
+/// different subjects take different locks:
+///
+/// * sessions — [`ShardMap`] keyed by session id;
+/// * active/revoked tokens — [`ShardMap`]/[`ShardSet`] keyed by `jti`;
+/// * revoked subjects — [`ShardSet`] keyed by subject;
+/// * `tokens_issued` — one `AtomicU64` per subject shard, summed on
+///   read;
+/// * signing keys, JWKS, and token policies — read-mostly
+///   [`Snapshot`] cells: readers clone an `Arc` and never hold a lock
+///   while signing or validating.
 pub struct IdentityBroker {
     /// Issuer URL baked into every token.
     pub issuer: String,
     clock: SimClock,
     registry: Arc<FederationRegistry>,
     authz: Arc<dyn AuthorizationSource>,
-    state: RwLock<BrokerState>,
+    signer: Snapshot<SignerRing>,
+    jwks_cache: Snapshot<Jwks>,
+    key_epoch: AtomicU64,
+    policies: Snapshot<HashMap<String, TokenPolicy>>,
+    sessions: ShardMap<SessionInfo>,
+    active_tokens: ShardMap<(String, u64)>, // jti -> (subject, exp)
+    revoked_tokens: ShardSet,
+    revoked_subjects: ShardSet,
+    tokens_issued: Vec<AtomicU64>, // per subject shard
     session_ttl_secs: u64,
     session_ids: IdGen,
     jti_ids: IdGen,
     key_ids: IdGen,
+    /// Present only when `shards == 1`: reproduces the pre-sharding
+    /// design, where one `RwLock<BrokerState>` was held across entire
+    /// operations — including JWT signing inside `issue_token`. Session
+    /// establishment and token issuance take it for write, lookups for
+    /// read, so the coarse baseline benchmarked by E9 serializes exactly
+    /// what the old broker serialized.
+    coarse_gate: Option<RwLock<()>>,
 }
 
 impl IdentityBroker {
-    /// Create a broker with an initial signing key derived from `seed`.
+    /// Create a broker with an initial signing key derived from `seed`
+    /// and the default shard count.
     pub fn new(
         issuer: impl Into<String>,
         seed: [u8; 32],
@@ -205,65 +243,134 @@ impl IdentityBroker {
         registry: Arc<FederationRegistry>,
         authz: Arc<dyn AuthorizationSource>,
     ) -> IdentityBroker {
-        let key_ids = IdGen::new("fds-key");
-        let kid = key_ids.next();
-        IdentityBroker {
-            issuer: issuer.into(),
+        IdentityBroker::with_shards(
+            issuer,
+            seed,
+            session_ttl_secs,
             clock,
             registry,
             authz,
-            state: RwLock::new(BrokerState {
-                signing_keys: vec![(kid, SigningKey::from_seed(&seed))],
-                sessions: HashMap::new(),
-                policies: HashMap::new(),
-                revoked_tokens: HashSet::new(),
-                revoked_subjects: HashSet::new(),
-                active_tokens: HashMap::new(),
-                tokens_issued: 0,
-            }),
+            DEFAULT_BROKER_SHARDS,
+        )
+    }
+
+    /// Like [`IdentityBroker::new`] with an explicit shard count
+    /// (rounded to a power of two; `1` reproduces the coarse-lock
+    /// behaviour for baseline comparisons).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_shards(
+        issuer: impl Into<String>,
+        seed: [u8; 32],
+        session_ttl_secs: u64,
+        clock: SimClock,
+        registry: Arc<FederationRegistry>,
+        authz: Arc<dyn AuthorizationSource>,
+        shards: usize,
+    ) -> IdentityBroker {
+        let issuer = issuer.into();
+        let shards = clamp_shards(shards);
+        let key_ids = IdGen::new("fds-key");
+        let kid = key_ids.next();
+        let ring = SignerRing {
+            keys: vec![(kid, SigningKey::from_seed(&seed))],
+        };
+        let jwks = Jwks {
+            issuer: issuer.clone(),
+            epoch: 0,
+            keys: ring
+                .keys
+                .iter()
+                .map(|(kid, sk)| (kid.clone(), sk.verifying_key()))
+                .collect(),
+        };
+        IdentityBroker {
+            issuer,
+            clock,
+            registry,
+            authz,
+            signer: Snapshot::new(ring),
+            jwks_cache: Snapshot::new(jwks),
+            key_epoch: AtomicU64::new(0),
+            policies: Snapshot::new(HashMap::new()),
+            sessions: ShardMap::new(shards),
+            active_tokens: ShardMap::new(shards),
+            revoked_tokens: ShardSet::new(shards),
+            revoked_subjects: ShardSet::new(shards),
+            tokens_issued: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             session_ttl_secs,
             session_ids: IdGen::new("sess"),
             jti_ids: IdGen::new("jti"),
             key_ids,
+            coarse_gate: (shards == 1).then(|| RwLock::new(())),
         }
+    }
+
+    fn coarse_write(&self) -> Option<parking_lot::RwLockWriteGuard<'_, ()>> {
+        self.coarse_gate.as_ref().map(|g| g.write())
+    }
+
+    fn coarse_read(&self) -> Option<parking_lot::RwLockReadGuard<'_, ()>> {
+        self.coarse_gate.as_ref().map(|g| g.read())
     }
 
     /// Register (or replace) a per-audience token policy.
     pub fn register_service(&self, policy: TokenPolicy) {
-        self.state.write().policies.insert(policy.audience.clone(), policy);
+        self.policies.rcu(|p| {
+            let mut p = p.clone();
+            p.insert(policy.audience.clone(), policy.clone());
+            p
+        });
     }
 
     /// Current JWKS snapshot for distribution to relying services.
+    /// Cached: rebuilt only when the key ring changes.
     pub fn jwks(&self) -> Jwks {
-        let state = self.state.read();
-        Jwks {
+        (*self.jwks_cache.load()).clone()
+    }
+
+    /// Current key-ring generation (bumped by rotation and prune).
+    pub fn jwks_epoch(&self) -> u64 {
+        self.key_epoch.load(Ordering::Acquire)
+    }
+
+    /// Rebuild and publish the JWKS snapshot from the current ring,
+    /// bumping the epoch.
+    fn republish_jwks(&self) {
+        let ring = self.signer.load();
+        let epoch = self.key_epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        self.jwks_cache.store(Jwks {
             issuer: self.issuer.clone(),
-            keys: state
-                .signing_keys
+            epoch,
+            keys: ring
+                .keys
                 .iter()
                 .map(|(kid, sk)| (kid.clone(), sk.verifying_key()))
                 .collect(),
-        }
+        });
     }
 
     /// Rotate the signing key. Old keys stay published for validation of
     /// in-flight tokens until pruned.
     pub fn rotate_keys(&self, seed: [u8; 32]) -> String {
         let kid = self.key_ids.next();
-        self.state
-            .write()
-            .signing_keys
-            .push((kid.clone(), SigningKey::from_seed(&seed)));
+        self.signer.rcu(|ring| {
+            let mut keys = ring.keys.clone();
+            keys.push((kid.clone(), SigningKey::from_seed(&seed)));
+            SignerRing { keys }
+        });
+        self.republish_jwks();
         kid
     }
 
     /// Drop all but the newest `keep` signing keys.
     pub fn prune_keys(&self, keep: usize) {
-        let mut state = self.state.write();
-        let len = state.signing_keys.len();
-        if len > keep {
-            state.signing_keys.drain(..len - keep);
-        }
+        self.signer.rcu(|ring| {
+            let start = ring.keys.len().saturating_sub(keep);
+            SignerRing {
+                keys: ring.keys[start..].to_vec(),
+            }
+        });
+        self.republish_jwks();
     }
 
     /// Establish a session from a federated (proxy) assertion. This is
@@ -280,9 +387,8 @@ impl IdentityBroker {
             .filter(|e| e.kind == EntityKind::Proxy)
             .ok_or_else(|| BrokerError::UnknownProxy(proxy_entity_id.to_string()))?;
         let now = self.clock.now_secs();
-        let assertion =
-            Assertion::verify(assertion_wire, &proxy.signing_key, &self.issuer, now)
-                .map_err(BrokerError::BadAssertion)?;
+        let assertion = Assertion::verify(assertion_wire, &proxy.signing_key, &self.issuer, now)
+            .map_err(BrokerError::BadAssertion)?;
         self.establish(
             assertion.subject.clone(),
             assertion.authn_context.clone(),
@@ -314,7 +420,8 @@ impl IdentityBroker {
         source: IdentitySource,
         loa: LevelOfAssurance,
     ) -> Result<SessionInfo, BrokerError> {
-        if self.state.read().revoked_subjects.contains(&subject) {
+        let _coarse = self.coarse_write();
+        if self.revoked_subjects.contains(&subject) {
             return Err(BrokerError::SubjectRevoked);
         }
         if !self.authz.is_authorized_subject(&subject) {
@@ -330,9 +437,7 @@ impl IdentityBroker {
             established_at: now,
             expires_at: now + self.session_ttl_secs,
         };
-        self.state
-            .write()
-            .sessions
+        self.sessions
             .insert(session.session_id.clone(), session.clone());
         Ok(session)
     }
@@ -355,25 +460,22 @@ impl IdentityBroker {
         audience: &str,
         extra: Vec<(String, Value)>,
     ) -> Result<(String, Claims), BrokerError> {
+        let _coarse = self.coarse_write();
         let now = self.clock.now_secs();
-        let (session, policy) = {
-            let state = self.state.read();
-            let session = state
-                .sessions
-                .get(session_id)
-                .cloned()
-                .ok_or(BrokerError::InvalidSession)?;
-            let policy = state
-                .policies
-                .get(audience)
-                .cloned()
-                .ok_or_else(|| BrokerError::UnknownService(audience.to_string()))?;
-            (session, policy)
-        };
+        let session = self
+            .sessions
+            .get_cloned(session_id)
+            .ok_or(BrokerError::InvalidSession)?;
+        let policy = self
+            .policies
+            .load()
+            .get(audience)
+            .cloned()
+            .ok_or_else(|| BrokerError::UnknownService(audience.to_string()))?;
         if now >= session.expires_at {
             return Err(BrokerError::SessionExpired);
         }
-        if self.state.read().revoked_subjects.contains(&session.subject) {
+        if self.revoked_subjects.contains(&session.subject) {
             return Err(BrokerError::SubjectRevoked);
         }
         if session.loa < policy.min_loa {
@@ -405,16 +507,18 @@ impl IdentityBroker {
         claims.roles = roles;
         claims.extra = extra;
 
-        let token = {
-            let mut state = self.state.write();
-            state.tokens_issued += 1;
-            state.active_tokens.insert(
-                claims.token_id.clone(),
-                (session.subject.clone(), claims.expires_at),
-            );
-            let (kid, key) = state.signing_keys.last().expect("at least one key");
-            jwt::sign(&claims, &Signer::Ed25519(key), kid)
-        };
+        // Count the issue on the subject's shard, record the active
+        // token on the jti's shard, and sign off an immutable key-ring
+        // snapshot — three independent touch points, no global lock.
+        let shard = shard_index(hash_key(&session.subject), self.tokens_issued.len());
+        self.tokens_issued[shard].fetch_add(1, Ordering::Relaxed);
+        self.active_tokens.insert(
+            claims.token_id.clone(),
+            (session.subject.clone(), claims.expires_at),
+        );
+        let ring = self.signer.load();
+        let (kid, key) = ring.keys.last().expect("at least one key");
+        let token = jwt::sign(&claims, &Signer::Ed25519(key), kid);
         Ok((token, claims))
     }
 
@@ -437,35 +541,32 @@ impl IdentityBroker {
     ) -> Result<(String, Claims), BrokerError> {
         let now = self.clock.now_secs();
         let claims = self
-            .jwks()
+            .jwks_cache
+            .load()
             .validate(subject_token, requesting_audience, now)
             .map_err(|_| BrokerError::InvalidSession)?;
         if !self.introspect(&claims.token_id) {
             return Err(BrokerError::InvalidSession);
         }
-        // Re-run full policy for the target audience off the same session.
-        let (token, mut derived) =
-            self.issue_token(&claims.session_id, target_audience)?;
+        // Re-run full policy for the target audience off the same
+        // session; the returned wire token is discarded because the
+        // derived claims are re-signed below.
+        let (_, mut derived) = self.issue_token(&claims.session_id, target_audience)?;
         // Cap the derived expiry at the subject token's and stamp the actor.
-        if derived.expires_at > claims.expires_at {
-            derived.expires_at = claims.expires_at;
-            derived
-                .extra
-                .push(("act".to_string(), Value::s(requesting_audience)));
-            // Re-sign with the corrected expiry.
-            let mut state = self.state.write();
-            let (kid, key) = state.signing_keys.last().expect("key");
-            let token = jwt::sign(&derived, &Signer::Ed25519(key), kid);
-            state
-                .active_tokens
-                .insert(derived.token_id.clone(), (derived.subject.clone(), derived.expires_at));
-            return Ok((token, derived));
-        }
         derived
             .extra
             .push(("act".to_string(), Value::s(requesting_audience)));
-        let state = self.state.read();
-        let (kid, key) = state.signing_keys.last().expect("key");
+        if derived.expires_at > claims.expires_at {
+            derived.expires_at = claims.expires_at;
+            // Correct the active-token record to the capped expiry.
+            self.active_tokens.insert(
+                derived.token_id.clone(),
+                (derived.subject.clone(), derived.expires_at),
+            );
+        }
+        // Re-sign (the actor claim and possibly the expiry changed).
+        let ring = self.signer.load();
+        let (kid, key) = ring.keys.last().expect("key");
         let token = jwt::sign(&derived, &Signer::Ed25519(key), kid);
         Ok((token, derived))
     }
@@ -484,71 +585,96 @@ impl IdentityBroker {
             "pwd" => 1,
             _ => 0,
         };
-        let mut state = self.state.write();
-        let session = state
-            .sessions
-            .get_mut(session_id)
-            .ok_or(BrokerError::InvalidSession)?;
-        if rank(new_acr) < rank(&session.acr) {
-            return Err(BrokerError::AcrMismatch);
-        }
-        session.acr = new_acr.to_string();
-        Ok(session.clone())
+        self.sessions
+            .with_mut(session_id, |session| {
+                if rank(new_acr) < rank(&session.acr) {
+                    return Err(BrokerError::AcrMismatch);
+                }
+                session.acr = new_acr.to_string();
+                Ok(session.clone())
+            })
+            .unwrap_or(Err(BrokerError::InvalidSession))
     }
 
     /// Introspection: is the token id still active (unexpired session-side
     /// and not revoked)? Services enforcing per-session access call this
     /// in addition to local JWKS validation.
     pub fn introspect(&self, jti: &str) -> bool {
-        let state = self.state.read();
-        if state.revoked_tokens.contains(jti) {
+        let _coarse = self.coarse_read();
+        if self.revoked_tokens.contains(jti) {
             return false;
         }
-        match state.active_tokens.get(jti) {
-            Some((subject, exp)) => {
-                !state.revoked_subjects.contains(subject) && self.clock.now_secs() < *exp
-            }
-            None => false,
-        }
+        self.active_tokens
+            .with(jti, |(subject, exp)| {
+                !self.revoked_subjects.contains(subject) && self.clock.now_secs() < *exp
+            })
+            .unwrap_or(false)
     }
 
     /// Revoke a single token.
     pub fn revoke_token(&self, jti: &str) {
-        self.state.write().revoked_tokens.insert(jti.to_string());
+        self.revoked_tokens.insert(jti.to_string());
     }
 
     /// End a session (logout or kill switch). Tokens already issued remain
     /// until expiry unless services introspect.
     pub fn revoke_session(&self, session_id: &str) {
-        self.state.write().sessions.remove(session_id);
+        self.sessions.remove(session_id);
     }
 
     /// Revoke a subject outright: sessions die, introspection fails, new
     /// logins are refused. The identity-layer kill switch.
+    ///
+    /// The revocation mark lands first (on the subject's shard), then a
+    /// cross-shard sweep removes every session — so a login racing the
+    /// kill either misses the session map or is refused at establish.
     pub fn revoke_subject(&self, subject: &str) {
-        let mut state = self.state.write();
-        state.revoked_subjects.insert(subject.to_string());
-        state.sessions.retain(|_, s| s.subject != subject);
+        self.revoked_subjects.insert(subject.to_string());
+        self.sessions.retain(|_, s| s.subject != subject);
     }
 
     /// Lift a subject revocation (post-incident).
     pub fn reinstate_subject(&self, subject: &str) {
-        self.state.write().revoked_subjects.remove(subject);
+        self.revoked_subjects.remove(subject);
     }
 
     /// Look up a live session.
     pub fn session(&self, session_id: &str) -> Option<SessionInfo> {
-        self.state.read().sessions.get(session_id).cloned()
+        let _coarse = self.coarse_read();
+        self.sessions.get_cloned(session_id)
     }
 
-    /// Total tokens issued (metrics).
+    /// Total tokens issued (metrics): the sum of the per-shard counters.
     pub fn tokens_issued(&self) -> u64 {
-        self.state.read().tokens_issued
+        self.tokens_issued
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Tokens issued per subject shard, in shard order. Routing is a
+    /// stable hash of the subject, so for a fixed input set these
+    /// counts are identical across serial and parallel runs.
+    pub fn shard_token_counts(&self) -> Vec<u64> {
+        self.tokens_issued
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of shards backing each concurrent map.
+    pub fn shard_count(&self) -> usize {
+        self.tokens_issued.len()
     }
 
     /// Live session count (metrics).
     pub fn session_count(&self) -> usize {
-        self.state.read().sessions.len()
+        self.sessions.len()
+    }
+
+    /// Live sessions per shard, in shard order.
+    pub fn session_shard_lens(&self) -> Vec<usize> {
+        self.sessions.shard_lens()
     }
 }
 
@@ -596,7 +722,12 @@ mod tests {
         );
         broker.register_service(TokenPolicy::standard("ssh-ca", 900));
         broker.register_service(TokenPolicy::admin("mgmt-tailnet", 600));
-        Fixture { broker, proxy_key, authz, clock }
+        Fixture {
+            broker,
+            proxy_key,
+            authz,
+            clock,
+        }
     }
 
     fn proxy_assertion(f: &Fixture, cuid: &str) -> String {
@@ -646,7 +777,9 @@ mod tests {
         assert_eq!(validated, claims);
         assert!(validated.has_role("researcher"));
         // Wrong audience fails.
-        assert!(jwks.validate(&token, "jupyter", f.clock.now_secs()).is_err());
+        assert!(jwks
+            .validate(&token, "jupyter", f.clock.now_secs())
+            .is_err());
         assert!(f.broker.introspect(&claims.token_id));
     }
 
@@ -654,7 +787,10 @@ mod tests {
     fn token_expiry_enforced_via_jwks() {
         let f = fixture();
         f.authz.grant("u", "ssh-ca", &["researcher"]);
-        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let session = f
+            .broker
+            .login_federated(PROXY, &proxy_assertion(&f, "u"))
+            .unwrap();
         let (token, claims) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
         f.clock.advance_secs(901);
         assert!(f
@@ -669,7 +805,10 @@ mod tests {
     fn session_expiry_requires_reauth() {
         let f = fixture();
         f.authz.grant("u", "ssh-ca", &["researcher"]);
-        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let session = f
+            .broker
+            .login_federated(PROXY, &proxy_assertion(&f, "u"))
+            .unwrap();
         f.clock.advance_secs(8 * 3600 + 1);
         assert!(matches!(
             f.broker.issue_token(&session.session_id, "ssh-ca"),
@@ -681,8 +820,12 @@ mod tests {
     fn no_roles_no_token() {
         let f = fixture();
         f.authz.grant("u", "ssh-ca", &["researcher"]);
-        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
-        f.broker.register_service(TokenPolicy::standard("jupyter", 900));
+        let session = f
+            .broker
+            .login_federated(PROXY, &proxy_assertion(&f, "u"))
+            .unwrap();
+        f.broker
+            .register_service(TokenPolicy::standard("jupyter", 900));
         assert!(matches!(
             f.broker.issue_token(&session.session_id, "jupyter"),
             Err(BrokerError::NoRolesForAudience)
@@ -698,7 +841,10 @@ mod tests {
         let f = fixture();
         f.authz.grant("u", "mgmt-tailnet", &["sysadmin"]);
         f.authz.grant("u", "ssh-ca", &["researcher"]);
-        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let session = f
+            .broker
+            .login_federated(PROXY, &proxy_assertion(&f, "u"))
+            .unwrap();
         // Federated session: admin_only + acr + loa all fail; loa first.
         let err = f.broker.issue_token(&session.session_id, "mgmt-tailnet");
         assert!(matches!(
@@ -713,10 +859,18 @@ mod tests {
     fn admin_session_gets_admin_token() {
         let f = fixture();
         f.authz.grant("admin:dave", "mgmt-tailnet", &["sysadmin"]);
-        let login = ManagedLogin { subject: "admin:dave".into(), acr: "mfa-hw".into() };
-        let session = f.broker.login_managed(&login, IdentitySource::AdminIdp).unwrap();
-        let (token, claims) =
-            f.broker.issue_token(&session.session_id, "mgmt-tailnet").unwrap();
+        let login = ManagedLogin {
+            subject: "admin:dave".into(),
+            acr: "mfa-hw".into(),
+        };
+        let session = f
+            .broker
+            .login_managed(&login, IdentitySource::AdminIdp)
+            .unwrap();
+        let (token, claims) = f
+            .broker
+            .issue_token(&session.session_id, "mgmt-tailnet")
+            .unwrap();
         assert!(claims.has_role("sysadmin"));
         assert_eq!(claims.acr, "mfa-hw");
         assert!(f
@@ -729,10 +883,16 @@ mod tests {
     #[test]
     fn last_resort_session_cannot_reach_admin_audience() {
         let f = fixture();
-        f.authz.grant("last-resort:vendor", "mgmt-tailnet", &["sysadmin"]);
-        let login =
-            ManagedLogin { subject: "last-resort:vendor".into(), acr: "mfa-totp".into() };
-        let session = f.broker.login_managed(&login, IdentitySource::LastResort).unwrap();
+        f.authz
+            .grant("last-resort:vendor", "mgmt-tailnet", &["sysadmin"]);
+        let login = ManagedLogin {
+            subject: "last-resort:vendor".into(),
+            acr: "mfa-totp".into(),
+        };
+        let session = f
+            .broker
+            .login_managed(&login, IdentitySource::LastResort)
+            .unwrap();
         assert!(matches!(
             f.broker.issue_token(&session.session_id, "mgmt-tailnet"),
             Err(BrokerError::AcrMismatch) | Err(BrokerError::AdminOnly)
@@ -743,7 +903,10 @@ mod tests {
     fn revocation_kill_switch() {
         let f = fixture();
         f.authz.grant("u", "ssh-ca", &["researcher"]);
-        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let session = f
+            .broker
+            .login_federated(PROXY, &proxy_assertion(&f, "u"))
+            .unwrap();
         let (_, claims) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
         assert!(f.broker.introspect(&claims.token_id));
 
@@ -762,14 +925,20 @@ mod tests {
         ));
         // Reinstatement restores access.
         f.broker.reinstate_subject("u");
-        assert!(f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).is_ok());
+        assert!(f
+            .broker
+            .login_federated(PROXY, &proxy_assertion(&f, "u"))
+            .is_ok());
     }
 
     #[test]
     fn key_rotation_keeps_old_tokens_valid_until_prune() {
         let f = fixture();
         f.authz.grant("u", "ssh-ca", &["researcher"]);
-        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let session = f
+            .broker
+            .login_federated(PROXY, &proxy_assertion(&f, "u"))
+            .unwrap();
         let (old_token, _) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
         f.broker.rotate_keys([99u8; 32]);
         let (new_token, _) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
@@ -789,12 +958,20 @@ mod tests {
     fn token_exchange_derives_narrower_token() {
         let f = fixture();
         f.authz.grant("u", "ssh-ca", &["researcher"]);
-        f.broker.register_service(TokenPolicy::standard("jupyter", 900));
-        f.broker.register_service(TokenPolicy::standard("slurm", 7200));
+        f.broker
+            .register_service(TokenPolicy::standard("jupyter", 900));
+        f.broker
+            .register_service(TokenPolicy::standard("slurm", 7200));
         f.authz.grant("u", "jupyter", &["researcher"]);
         f.authz.grant("u", "slurm", &["researcher"]);
-        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
-        let (jupyter_token, jc) = f.broker.issue_token(&session.session_id, "jupyter").unwrap();
+        let session = f
+            .broker
+            .login_federated(PROXY, &proxy_assertion(&f, "u"))
+            .unwrap();
+        let (jupyter_token, jc) = f
+            .broker
+            .issue_token(&session.session_id, "jupyter")
+            .unwrap();
         let (slurm_token, sc) = f
             .broker
             .exchange_token(&jupyter_token, "jupyter", "slurm")
@@ -820,10 +997,16 @@ mod tests {
     fn token_exchange_respects_target_policy() {
         let f = fixture();
         f.authz.grant("u", "ssh-ca", &["researcher"]);
-        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let session = f
+            .broker
+            .login_federated(PROXY, &proxy_assertion(&f, "u"))
+            .unwrap();
         let (token, _) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
         // No roles on mgmt-tailnet (and LoA/ACR gates anyway): refused.
-        assert!(f.broker.exchange_token(&token, "ssh-ca", "mgmt-tailnet").is_err());
+        assert!(f
+            .broker
+            .exchange_token(&token, "ssh-ca", "mgmt-tailnet")
+            .is_err());
         // A revoked subject token cannot be exchanged.
         let (t2, c2) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
         f.broker.revoke_token(&c2.token_id);
@@ -837,7 +1020,10 @@ mod tests {
     fn step_up_upgrades_never_downgrades() {
         let f = fixture();
         f.authz.grant("u", "ssh-ca", &["researcher"]);
-        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let session = f
+            .broker
+            .login_federated(PROXY, &proxy_assertion(&f, "u"))
+            .unwrap();
         assert_eq!(session.acr, "pwd");
         let upgraded = f
             .broker
@@ -860,7 +1046,10 @@ mod tests {
     fn single_token_revocation() {
         let f = fixture();
         f.authz.grant("u", "ssh-ca", &["researcher"]);
-        let session = f.broker.login_federated(PROXY, &proxy_assertion(&f, "u")).unwrap();
+        let session = f
+            .broker
+            .login_federated(PROXY, &proxy_assertion(&f, "u"))
+            .unwrap();
         let (_, c1) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
         let (_, c2) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
         f.broker.revoke_token(&c1.token_id);

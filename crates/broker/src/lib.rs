@@ -37,8 +37,6 @@ pub mod managed_idp;
 pub mod oidc;
 
 pub use authz::{AuthorizationSource, StaticAuthz};
-pub use broker::{
-    BrokerError, IdentityBroker, IdentitySource, Jwks, SessionInfo, TokenPolicy,
-};
+pub use broker::{BrokerError, IdentityBroker, IdentitySource, Jwks, SessionInfo, TokenPolicy};
 pub use managed_idp::{HardwareKey, ManagedIdp, ManagedIdpError, MfaMethod};
 pub use oidc::{DeviceFlowError, DeviceGrant, OidcClient, OidcError, OidcProvider};

@@ -15,13 +15,12 @@
 //! password alone can never produce an admin session (exercised by the
 //! E10/E13 attack experiments).
 
-use std::collections::HashMap;
-
 use dri_clock::{IdGen, SimClock, SimRng};
 use dri_crypto::ed25519::{SigningKey, VerifyingKey};
 use dri_crypto::sha2::sha256;
 use dri_federation::idp::totp_code;
-use parking_lot::{Mutex, RwLock};
+use dri_sync::ShardMap;
+use parking_lot::Mutex;
 
 /// Which second factor a directory user has enrolled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +41,9 @@ pub struct HardwareKey {
 impl HardwareKey {
     /// Mint a new hardware key from RNG.
     pub fn generate(rng: &mut SimRng) -> HardwareKey {
-        HardwareKey { key: SigningKey::from_seed(&rng.seed32()) }
+        HardwareKey {
+            key: SigningKey::from_seed(&rng.seed32()),
+        }
     }
 
     /// Public half for enrolment.
@@ -140,11 +141,15 @@ pub struct ManagedIdp {
     /// (admin IdP behaviour).
     pub requires_vetting: bool,
     clock: SimClock,
-    users: RwLock<HashMap<String, DirectoryUser>>,
-    challenges: RwLock<HashMap<String, PendingChallenge>>,
+    users: ShardMap<DirectoryUser>,
+    challenges: ShardMap<PendingChallenge>,
     rng: Mutex<SimRng>,
     ids: IdGen,
 }
+
+/// Shards per managed-IdP map: directories are small (tens of users) but
+/// login storms hit them concurrently.
+const IDP_SHARDS: usize = 8;
 
 impl ManagedIdp {
     /// Create a managed IdP.
@@ -158,8 +163,8 @@ impl ManagedIdp {
             name: name.into(),
             requires_vetting,
             clock,
-            users: RwLock::new(HashMap::new()),
-            challenges: RwLock::new(HashMap::new()),
+            users: ShardMap::new(IDP_SHARDS),
+            challenges: ShardMap::new(IDP_SHARDS),
             rng: Mutex::new(rng),
             ids: IdGen::new("chal"),
         }
@@ -179,7 +184,9 @@ impl ManagedIdp {
         username: &str,
         password: &str,
     ) -> Result<Vec<u8>, ManagedIdpError> {
-        let mut users = self.users.write();
+        // Duplicate-check and insert under the user's shard lock so a
+        // racing double-registration cannot both succeed.
+        let mut users = self.users.write_shard(username);
         if users.contains_key(username) {
             return Err(ManagedIdpError::Duplicate);
         }
@@ -213,7 +220,7 @@ impl ManagedIdp {
         password: &str,
         hw_public: VerifyingKey,
     ) -> Result<(), ManagedIdpError> {
-        let mut users = self.users.write();
+        let mut users = self.users.write_shard(username);
         if users.contains_key(username) {
             return Err(ManagedIdpError::Duplicate);
         }
@@ -238,19 +245,17 @@ impl ManagedIdp {
 
     /// The human-in-the-loop identity confirmation of user story 2.
     pub fn vet_user(&self, username: &str) -> Result<(), ManagedIdpError> {
-        let mut users = self.users.write();
-        let u = users.get_mut(username).ok_or(ManagedIdpError::UnknownUser)?;
-        u.vetted = true;
-        Ok(())
+        self.users
+            .with_mut(username, |u| u.vetted = true)
+            .ok_or(ManagedIdpError::UnknownUser)
     }
 
     /// Deactivate an account ("access is revoked when an individual
     /// leaves the group").
     pub fn deactivate(&self, username: &str) -> Result<(), ManagedIdpError> {
-        let mut users = self.users.write();
-        let u = users.get_mut(username).ok_or(ManagedIdpError::UnknownUser)?;
-        u.active = false;
-        Ok(())
+        self.users
+            .with_mut(username, |u| u.active = false)
+            .ok_or(ManagedIdpError::UnknownUser)
     }
 
     /// TOTP login (last-resort users).
@@ -260,9 +265,11 @@ impl ManagedIdp {
         password: &str,
         code: u32,
     ) -> Result<ManagedLogin, ManagedIdpError> {
-        let users = self.users.read();
-        let u = users.get(username).ok_or(ManagedIdpError::UnknownUser)?;
-        self.check_basics(u, password)?;
+        let u = self
+            .users
+            .get_cloned(username)
+            .ok_or(ManagedIdpError::UnknownUser)?;
+        self.check_basics(&u, password)?;
         let secret = u.totp_secret.as_ref().ok_or(ManagedIdpError::BadTotp)?;
         let expected = totp_code(secret, self.clock.now_secs() / 30);
         if code != expected {
@@ -281,16 +288,18 @@ impl ManagedIdp {
         username: &str,
         password: &str,
     ) -> Result<(String, [u8; 32]), ManagedIdpError> {
-        let users = self.users.read();
-        let u = users.get(username).ok_or(ManagedIdpError::UnknownUser)?;
-        self.check_basics(u, password)?;
+        let u = self
+            .users
+            .get_cloned(username)
+            .ok_or(ManagedIdpError::UnknownUser)?;
+        self.check_basics(&u, password)?;
         if u.hw_key.is_none() {
             return Err(ManagedIdpError::NoHardwareKey);
         }
         let mut nonce = [0u8; 32];
         self.rng.lock().fill_bytes(&mut nonce);
         let id = self.ids.next();
-        self.challenges.write().insert(
+        self.challenges.insert(
             id.clone(),
             PendingChallenge {
                 username: username.to_string(),
@@ -310,15 +319,14 @@ impl ManagedIdp {
     ) -> Result<ManagedLogin, ManagedIdpError> {
         let challenge = self
             .challenges
-            .write()
             .remove(challenge_id)
             .ok_or(ManagedIdpError::BadChallenge)?;
         if self.clock.now_ms() >= challenge.expires_at_ms {
             return Err(ManagedIdpError::BadChallenge);
         }
-        let users = self.users.read();
-        let u = users
-            .get(&challenge.username)
+        let u = self
+            .users
+            .get_cloned(&challenge.username)
             .ok_or(ManagedIdpError::UnknownUser)?;
         let key = u.hw_key.as_ref().ok_or(ManagedIdpError::NoHardwareKey)?;
         if !key.verify(&challenge.nonce, signature) {
@@ -330,11 +338,7 @@ impl ManagedIdp {
         })
     }
 
-    fn check_basics(
-        &self,
-        u: &DirectoryUser,
-        password: &str,
-    ) -> Result<(), ManagedIdpError> {
+    fn check_basics(&self, u: &DirectoryUser, password: &str) -> Result<(), ManagedIdpError> {
         if !u.active {
             return Err(ManagedIdpError::Deactivated);
         }
@@ -350,20 +354,23 @@ impl ManagedIdp {
 
     /// The MFA method a user enrolled with.
     pub fn mfa_method(&self, username: &str) -> Option<MfaMethod> {
-        self.users.read().get(username).map(|u| u.mfa)
+        self.users.with(username, |u| u.mfa)
     }
 
     /// The TOTP code currently expected for a user (test/client helper —
     /// in reality this lives in the user's authenticator app).
     pub fn current_totp(&self, username: &str) -> Option<u32> {
-        let users = self.users.read();
-        let secret = users.get(username)?.totp_secret.as_ref()?;
-        Some(totp_code(secret, self.clock.now_secs() / 30))
+        let when = self.clock.now_secs() / 30;
+        self.users
+            .with(username, |u| {
+                u.totp_secret.as_ref().map(|s| totp_code(s, when))
+            })
+            .flatten()
     }
 
     /// Directory size (metrics).
     pub fn user_count(&self) -> usize {
-        self.users.read().len()
+        self.users.len()
     }
 }
 
@@ -374,8 +381,7 @@ mod tests {
     fn setup() -> (ManagedIdp, ManagedIdp) {
         let clock = SimClock::new();
         let admin = ManagedIdp::new("admin", true, clock.clone(), SimRng::seed_from_u64(1));
-        let last_resort =
-            ManagedIdp::new("last-resort", false, clock, SimRng::seed_from_u64(2));
+        let last_resort = ManagedIdp::new("last-resort", false, clock, SimRng::seed_from_u64(2));
         (admin, last_resort)
     }
 
@@ -404,7 +410,9 @@ mod tests {
         let (admin, _) = setup();
         let mut rng = SimRng::seed_from_u64(77);
         let device = HardwareKey::generate(&mut rng);
-        admin.register_hw_user("dave", "pw", device.public()).unwrap();
+        admin
+            .register_hw_user("dave", "pw", device.public())
+            .unwrap();
         // Not vetted yet: even the password step refuses.
         assert_eq!(
             admin.begin_hw_login("dave", "pw"),
@@ -424,7 +432,9 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(78);
         let device = HardwareKey::generate(&mut rng);
         let wrong_device = HardwareKey::generate(&mut rng);
-        admin.register_hw_user("dave", "pw", device.public()).unwrap();
+        admin
+            .register_hw_user("dave", "pw", device.public())
+            .unwrap();
         admin.vet_user("dave").unwrap();
 
         // Wrong device's signature is rejected.
@@ -448,7 +458,9 @@ mod tests {
         let admin = ManagedIdp::new("admin", false, clock.clone(), SimRng::seed_from_u64(3));
         let mut rng = SimRng::seed_from_u64(4);
         let device = HardwareKey::generate(&mut rng);
-        admin.register_hw_user("dave", "pw", device.public()).unwrap();
+        admin
+            .register_hw_user("dave", "pw", device.public())
+            .unwrap();
         let (cid, nonce) = admin.begin_hw_login("dave", "pw").unwrap();
         clock.advance(CHALLENGE_TTL_MS + 1);
         let sig = device.sign_challenge(&nonce);
@@ -463,7 +475,9 @@ mod tests {
         let (admin, _) = setup();
         let mut rng = SimRng::seed_from_u64(5);
         let device = HardwareKey::generate(&mut rng);
-        admin.register_hw_user("eve", "pw", device.public()).unwrap();
+        admin
+            .register_hw_user("eve", "pw", device.public())
+            .unwrap();
         admin.vet_user("eve").unwrap();
         admin.deactivate("eve").unwrap();
         assert_eq!(

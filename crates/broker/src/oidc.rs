@@ -162,7 +162,9 @@ impl OidcProvider {
 
     /// Register a relying party.
     pub fn register_client(&self, client: OidcClient) {
-        self.clients.write().insert(client.client_id.clone(), client);
+        self.clients
+            .write()
+            .insert(client.client_id.clone(), client);
     }
 
     fn random_token(&self, prefix: &str) -> String {
@@ -265,7 +267,11 @@ impl OidcProvider {
         let refresh = self.random_token("rt");
         self.refresh_grants.lock().insert(
             refresh.clone(),
-            RefreshGrant { client_id: client_id.to_string(), session_id, rotated: false },
+            RefreshGrant {
+                client_id: client_id.to_string(),
+                session_id,
+                rotated: false,
+            },
         );
         Ok((token, claims, refresh))
     }
@@ -280,7 +286,10 @@ impl OidcProvider {
     ) -> Result<(String, Claims, String), OidcError> {
         let grant = {
             let mut grants = self.refresh_grants.lock();
-            let grant = grants.get_mut(refresh_token).ok_or(OidcError::BadCode)?.clone();
+            let grant = grants
+                .get_mut(refresh_token)
+                .ok_or(OidcError::BadCode)?
+                .clone();
             if grant.rotated {
                 // Reuse detected: kill the session defensively.
                 self.broker.revoke_session(&grant.session_id);
@@ -344,18 +353,16 @@ impl OidcProvider {
             expires_at: self.clock.now_secs() + DEVICE_TTL_SECS,
             state: DeviceState::Pending,
         };
-        self.devices.lock().insert(device_code.clone(), grant.clone());
+        self.devices
+            .lock()
+            .insert(device_code.clone(), grant.clone());
         self.user_codes.lock().insert(user_code, device_code);
         Ok(grant)
     }
 
     /// The user, in an authenticated browser session, approves the device
     /// showing `user_code`.
-    pub fn approve_device(
-        &self,
-        user_code: &str,
-        session_id: &str,
-    ) -> Result<(), OidcError> {
+    pub fn approve_device(&self, user_code: &str, session_id: &str) -> Result<(), OidcError> {
         if self.broker.session(session_id).is_none() {
             return Err(OidcError::InvalidSession);
         }
@@ -370,7 +377,9 @@ impl OidcProvider {
         if self.clock.now_secs() >= grant.expires_at {
             return Err(OidcError::BadCode);
         }
-        grant.state = DeviceState::Approved { session_id: session_id.to_string() };
+        grant.state = DeviceState::Approved {
+            session_id: session_id.to_string(),
+        };
         Ok(())
     }
 
@@ -456,7 +465,10 @@ mod tests {
         broker.register_service(TokenPolicy::standard("ssh-ca", 900));
         let session = broker
             .login_managed(
-                &ManagedLogin { subject: "last-resort:carol".into(), acr: "mfa-totp".into() },
+                &ManagedLogin {
+                    subject: "last-resort:carol".into(),
+                    acr: "mfa-totp".into(),
+                },
                 IdentitySource::LastResort,
             )
             .unwrap();
@@ -471,7 +483,12 @@ mod tests {
             redirect_uri: "urn:ietf:wg:oauth:2.0:oob".into(),
             audience: "ssh-ca".into(),
         });
-        Fixture { oidc, broker, clock, session_id: session.session_id }
+        Fixture {
+            oidc,
+            broker,
+            clock,
+            session_id: session.session_id,
+        }
     }
 
     #[test]
@@ -488,7 +505,10 @@ mod tests {
                 &f.session_id,
             )
             .unwrap();
-        let (token, claims) = f.oidc.exchange_code("jupyter-web", &code, verifier).unwrap();
+        let (token, claims) = f
+            .oidc
+            .exchange_code("jupyter-web", &code, verifier)
+            .unwrap();
         assert_eq!(claims.audience, "jupyter");
         assert!(f
             .broker
@@ -526,11 +546,17 @@ mod tests {
         let f = fixture();
         let challenge = OidcProvider::s256("v");
         assert_eq!(
-            f.oidc.authorize("jupyter-web", "https://evil.example/cb", &challenge, &f.session_id),
+            f.oidc.authorize(
+                "jupyter-web",
+                "https://evil.example/cb",
+                &challenge,
+                &f.session_id
+            ),
             Err(OidcError::RedirectMismatch)
         );
         assert!(matches!(
-            f.oidc.authorize("ghost", "https://x", &challenge, &f.session_id),
+            f.oidc
+                .authorize("ghost", "https://x", &challenge, &f.session_id),
             Err(OidcError::UnknownClient(_))
         ));
     }
@@ -565,7 +591,9 @@ mod tests {
             Err(DeviceFlowError::AuthorizationPending)
         );
         // User approves in their authenticated browser session.
-        f.oidc.approve_device(&grant.user_code, &f.session_id).unwrap();
+        f.oidc
+            .approve_device(&grant.user_code, &f.session_id)
+            .unwrap();
         let (token, claims) = f.oidc.poll_device(&grant.device_code).unwrap();
         assert_eq!(claims.audience, "ssh-ca");
         assert!(f
@@ -585,7 +613,10 @@ mod tests {
         let f = fixture();
         let g1 = f.oidc.begin_device_flow("ssh-cert-cli").unwrap();
         f.oidc.deny_device(&g1.user_code).unwrap();
-        assert_eq!(f.oidc.poll_device(&g1.device_code), Err(DeviceFlowError::Denied));
+        assert_eq!(
+            f.oidc.poll_device(&g1.device_code),
+            Err(DeviceFlowError::Denied)
+        );
 
         let g2 = f.oidc.begin_device_flow("ssh-cert-cli").unwrap();
         f.clock.advance_secs(DEVICE_TTL_SECS + 1);
@@ -619,7 +650,11 @@ mod tests {
         // Refresh works and rotates.
         let (t2, c2, rt2) = f.oidc.refresh("jupyter-web", &rt1).unwrap();
         assert_eq!(c2.audience, "jupyter");
-        assert!(f.broker.jwks().validate(&t2, "jupyter", f.clock.now_secs()).is_ok());
+        assert!(f
+            .broker
+            .jwks()
+            .validate(&t2, "jupyter", f.clock.now_secs())
+            .is_ok());
         assert_ne!(rt1, rt2);
         // Wrong client can't use it.
         assert_eq!(

@@ -30,7 +30,9 @@ impl SimClock {
 
     /// A clock starting at `start_ms` milliseconds.
     pub fn starting_at(start_ms: u64) -> SimClock {
-        SimClock { now_ms: Arc::new(AtomicU64::new(start_ms)) }
+        SimClock {
+            now_ms: Arc::new(AtomicU64::new(start_ms)),
+        }
     }
 
     /// Current simulated time in milliseconds.
@@ -56,7 +58,10 @@ impl SimClock {
     /// Jump to an absolute time. Panics if this would move time backwards.
     pub fn set(&self, at_ms: u64) {
         let prev = self.now_ms.swap(at_ms, Ordering::AcqRel);
-        assert!(at_ms >= prev, "SimClock must be monotone ({prev} -> {at_ms})");
+        assert!(
+            at_ms >= prev,
+            "SimClock must be monotone ({prev} -> {at_ms})"
+        );
     }
 }
 
@@ -81,15 +86,14 @@ impl SimRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             z ^ (z >> 31)
         };
-        SimRng { s: [next(), next(), next(), next()] }
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -182,7 +186,10 @@ pub struct IdGen {
 impl IdGen {
     /// A generator producing `prefix-N` ids starting from 1.
     pub fn new(prefix: &'static str) -> IdGen {
-        IdGen { prefix, counter: AtomicU64::new(0) }
+        IdGen {
+            prefix,
+            counter: AtomicU64::new(0),
+        }
     }
 
     /// Next unique id.

@@ -10,16 +10,19 @@
 //!   scheduler's interactive partition, bound to the user's per-project
 //!   UNIX account.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use dri_broker::broker::Jwks;
 use dri_clock::{IdGen, SimClock};
 use dri_crypto::json::Value;
 use dri_crypto::jwt::JwtError;
-use parking_lot::RwLock;
+use dri_sync::{ShardMap, Snapshot};
 
 use crate::slurm::{Scheduler, SubmitError};
+
+/// Default shard count for the notebook session map.
+pub const DEFAULT_JUPYTER_SHARDS: usize = 16;
 
 /// Token-introspection callback (typically `IdentityBroker::introspect`).
 pub type IntrospectFn = Arc<dyn Fn(&str) -> bool + Send + Sync>;
@@ -79,6 +82,12 @@ pub struct NotebookSession {
 }
 
 /// The notebook service.
+///
+/// The JWKS is a read-mostly [`dri_sync::Snapshot`]: every spawn
+/// validates its token against an immutable snapshot with no lock held,
+/// and the snapshot is republished only on broker key rotation. Session
+/// state is sharded; capacity is an atomic reservation counter so
+/// `AtCapacity` is exact even under a parallel storm.
 pub struct JupyterService {
     /// Audience tokens must be scoped to.
     pub audience: String,
@@ -87,9 +96,11 @@ pub struct JupyterService {
     /// Maximum simultaneous sessions.
     pub capacity: usize,
     clock: SimClock,
-    jwks: RwLock<Jwks>,
+    jwks: Snapshot<Jwks>,
     scheduler: Arc<Scheduler>,
-    sessions: RwLock<HashMap<String, NotebookSession>>,
+    sessions: ShardMap<NotebookSession>,
+    /// Live + in-flight session reservations.
+    live: AtomicUsize,
     introspect: Option<IntrospectFn>,
     ids: IdGen,
 }
@@ -108,9 +119,10 @@ impl JupyterService {
             partition: partition.into(),
             capacity,
             clock,
-            jwks: RwLock::new(jwks),
+            jwks: Snapshot::new(jwks),
             scheduler,
-            sessions: RwLock::new(HashMap::new()),
+            sessions: ShardMap::new(DEFAULT_JUPYTER_SHARDS),
+            live: AtomicUsize::new(0),
             introspect: None,
             ids: IdGen::new("nb"),
         }
@@ -122,17 +134,19 @@ impl JupyterService {
         self
     }
 
-    /// Refresh the JWKS snapshot.
+    /// Refresh the JWKS snapshot (key rotation).
     pub fn update_jwks(&self, jwks: Jwks) {
-        *self.jwks.write() = jwks;
+        self.jwks.store(jwks);
+    }
+
+    /// Epoch of the currently trusted JWKS snapshot.
+    pub fn jwks_epoch(&self) -> u64 {
+        self.jwks.load().epoch
     }
 
     /// Handle an authenticated spawn request arriving through the tunnel.
     /// `headers` are the forwarded HTTP headers.
-    pub fn spawn(
-        &self,
-        headers: &[(String, String)],
-    ) -> Result<NotebookSession, JupyterError> {
+    pub fn spawn(&self, headers: &[(String, String)]) -> Result<NotebookSession, JupyterError> {
         let token = headers
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case("x-auth-token"))
@@ -141,7 +155,7 @@ impl JupyterService {
         let now = self.clock.now_secs();
         let claims = self
             .jwks
-            .read()
+            .load()
             .validate(token, &self.audience, now)
             .map_err(JupyterError::BadToken)?;
         if let Some(check) = &self.introspect {
@@ -164,13 +178,27 @@ impl JupyterService {
             .unwrap_or("unknown")
             .to_string();
 
-        if self.sessions.read().len() >= self.capacity {
+        // Atomically reserve a capacity slot; exact under parallel
+        // storms (no read-check/insert race).
+        if self
+            .live
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.capacity).then_some(n + 1)
+            })
+            .is_err()
+        {
             return Err(JupyterError::AtCapacity);
         }
-        let job_id = self
+        let job_id = match self
             .scheduler
             .submit(&account, &project, &self.partition, 1, 4 * 3600)
-            .map_err(JupyterError::Spawn)?;
+        {
+            Ok(id) => id,
+            Err(e) => {
+                self.live.fetch_sub(1, Ordering::AcqRel);
+                return Err(JupyterError::Spawn(e));
+            }
+        };
         self.scheduler.tick();
 
         let session = NotebookSession {
@@ -182,50 +210,46 @@ impl JupyterService {
             token_id: claims.token_id.clone(),
             started_at_ms: self.clock.now_ms(),
         };
-        self.sessions
-            .write()
-            .insert(session.id.clone(), session.clone());
+        self.sessions.insert(session.id.clone(), session.clone());
         Ok(session)
     }
 
     /// Stop a session (user action or expiry), cancelling its job.
     pub fn stop(&self, session_id: &str) -> bool {
-        match self.sessions.write().remove(session_id) {
+        match self.sessions.remove(session_id) {
             Some(s) => {
                 self.scheduler.cancel(&s.job_id);
+                self.live.fetch_sub(1, Ordering::AcqRel);
                 true
             }
             None => false,
         }
     }
 
-    /// Sever every session of a subject (kill switch).
+    /// Sever every session of a subject (kill switch). Sweeps every
+    /// shard so no session survives regardless of where it hashed.
     pub fn sever_subject(&self, subject: &str) -> usize {
-        let victims: Vec<String> = {
-            let sessions = self.sessions.read();
-            sessions
-                .values()
-                .filter(|s| s.subject == subject)
-                .map(|s| s.id.clone())
-                .collect()
-        };
-        let mut n = 0;
-        for id in victims {
-            if self.stop(&id) {
-                n += 1;
-            }
+        let victims = self.sessions.drain_matching(|_, s| s.subject == subject);
+        for (_, s) in &victims {
+            self.scheduler.cancel(&s.job_id);
         }
-        n
+        self.live.fetch_sub(victims.len(), Ordering::AcqRel);
+        victims.len()
     }
 
     /// Live session count.
     pub fn session_count(&self) -> usize {
-        self.sessions.read().len()
+        self.sessions.len()
+    }
+
+    /// Live sessions per shard, in shard order.
+    pub fn session_shard_lens(&self) -> Vec<usize> {
+        self.sessions.shard_lens()
     }
 
     /// Session snapshot.
     pub fn session(&self, id: &str) -> Option<NotebookSession> {
-        self.sessions.read().get(id).cloned()
+        self.sessions.get_cloned(id)
     }
 }
 
@@ -260,7 +284,10 @@ mod tests {
         broker.register_service(TokenPolicy::standard("jupyter", 900));
         let session = broker
             .login_managed(
-                &ManagedLogin { subject: "last-resort:alice".into(), acr: "mfa-totp".into() },
+                &ManagedLogin {
+                    subject: "last-resort:alice".into(),
+                    acr: "mfa-totp".into(),
+                },
                 IdentitySource::LastResort,
             )
             .unwrap();
@@ -275,7 +302,13 @@ mod tests {
             clock.clone(),
         )
         .with_introspection(Arc::new(move |jti| broker2.introspect(jti)));
-        Fixture { service, broker, scheduler, session_id: session.session_id, clock }
+        Fixture {
+            service,
+            broker,
+            scheduler,
+            session_id: session.session_id,
+            clock,
+        }
     }
 
     fn token(f: &Fixture) -> String {
@@ -337,7 +370,10 @@ mod tests {
             )
             .unwrap();
         f.broker.revoke_token(&claims.token_id);
-        assert_eq!(f.service.spawn(&headers(&t)), Err(JupyterError::TokenRevoked));
+        assert_eq!(
+            f.service.spawn(&headers(&t)),
+            Err(JupyterError::TokenRevoked)
+        );
     }
 
     #[test]

@@ -6,12 +6,14 @@
 //! actually provisioned on the node; and (3) the connecting client proves
 //! possession of the certified private key by signing a fresh challenge.
 
-use std::collections::HashMap;
-
 use dri_clock::{IdGen, SimClock, SimRng};
 use dri_crypto::ed25519::VerifyingKey;
 use dri_sshca::cert::{CertError, SshCertificate};
-use parking_lot::{Mutex, RwLock};
+use dri_sync::{ShardMap, Snapshot};
+use parking_lot::Mutex;
+
+/// Default shard count for the per-node account and session maps.
+pub const DEFAULT_LOGIN_SHARDS: usize = 16;
 
 /// Login failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,19 +57,25 @@ pub struct ShellSession {
     pub started_at_ms: u64,
 }
 
+#[derive(Clone)]
 struct AccountRecord {
     project: String,
     locked: bool,
 }
 
 /// A login node.
+///
+/// Account and session state is sharded by key hash
+/// ([`dri_sync::ShardMap`]) so a login storm hitting many accounts
+/// takes many different locks; the trusted CA key is a
+/// [`dri_sync::Snapshot`] read lock-free on every certificate check.
 pub struct LoginNode {
     /// Fabric host id (`mdc/login01`).
     pub host_id: String,
     clock: SimClock,
-    ca_key: RwLock<VerifyingKey>,
-    accounts: RwLock<HashMap<String, AccountRecord>>,
-    sessions: RwLock<HashMap<String, ShellSession>>,
+    ca_key: Snapshot<VerifyingKey>,
+    accounts: ShardMap<AccountRecord>,
+    sessions: ShardMap<ShellSession>,
     rng: Mutex<SimRng>,
     ids: IdGen,
 }
@@ -80,12 +88,24 @@ impl LoginNode {
         clock: SimClock,
         rng: SimRng,
     ) -> LoginNode {
+        LoginNode::with_shards(host_id, ca_key, clock, rng, DEFAULT_LOGIN_SHARDS)
+    }
+
+    /// Create a login node with an explicit shard count (1 reproduces a
+    /// single coarse lock).
+    pub fn with_shards(
+        host_id: impl Into<String>,
+        ca_key: VerifyingKey,
+        clock: SimClock,
+        rng: SimRng,
+        shards: usize,
+    ) -> LoginNode {
         LoginNode {
             host_id: host_id.into(),
             clock,
-            ca_key: RwLock::new(ca_key),
-            accounts: RwLock::new(HashMap::new()),
-            sessions: RwLock::new(HashMap::new()),
+            ca_key: Snapshot::new(ca_key),
+            accounts: ShardMap::new(shards),
+            sessions: ShardMap::new(shards),
             rng: Mutex::new(rng),
             ids: IdGen::new("shell"),
         }
@@ -93,39 +113,39 @@ impl LoginNode {
 
     /// Update the trusted user-CA key.
     pub fn trust_ca(&self, key: VerifyingKey) {
-        *self.ca_key.write() = key;
+        self.ca_key.store(key);
     }
 
     /// Provision a per-project UNIX account (driven from the portal).
     pub fn provision_account(&self, account: &str, project: &str) {
-        self.accounts.write().insert(
+        self.accounts.insert(
             account.to_string(),
-            AccountRecord { project: project.to_string(), locked: false },
+            AccountRecord {
+                project: project.to_string(),
+                locked: false,
+            },
         );
     }
 
     /// Deprovision an account (project expiry / member removal).
     pub fn deprovision_account(&self, account: &str) -> bool {
-        let removed = self.accounts.write().remove(account).is_some();
+        let removed = self.accounts.remove(account).is_some();
         if removed {
-            self.sessions.write().retain(|_, s| s.account != account);
+            self.sessions.retain(|_, s| s.account != account);
         }
         removed
     }
 
     /// Lock / unlock an account (kill switch; sessions are severed on lock).
     pub fn set_locked(&self, account: &str, locked: bool) -> bool {
-        let mut accounts = self.accounts.write();
-        match accounts.get_mut(account) {
-            Some(rec) => {
-                rec.locked = locked;
-                if locked {
-                    self.sessions.write().retain(|_, s| s.account != account);
-                }
-                true
-            }
-            None => false,
+        let known = self
+            .accounts
+            .with_mut(account, |rec| rec.locked = locked)
+            .is_some();
+        if known && locked {
+            self.sessions.retain(|_, s| s.account != account);
         }
+        known
     }
 
     /// Open an SSH session: certificate + possession proof.
@@ -138,18 +158,18 @@ impl LoginNode {
         account: &str,
         sign_challenge: impl FnOnce(&[u8]) -> [u8; 64],
     ) -> Result<ShellSession, LoginError> {
-        cert.verify(&self.ca_key.read(), self.clock.now_secs(), Some(account))
+        cert.verify(&self.ca_key.load(), self.clock.now_secs(), Some(account))
             .map_err(LoginError::Cert)?;
-        let project = {
-            let accounts = self.accounts.read();
-            let rec = accounts
-                .get(account)
-                .ok_or_else(|| LoginError::NoSuchAccount(account.to_string()))?;
-            if rec.locked {
-                return Err(LoginError::AccountLocked);
-            }
-            rec.project.clone()
-        };
+        let project = self
+            .accounts
+            .with(account, |rec| {
+                if rec.locked {
+                    Err(LoginError::AccountLocked)
+                } else {
+                    Ok(rec.project.clone())
+                }
+            })
+            .ok_or_else(|| LoginError::NoSuchAccount(account.to_string()))??;
         // Possession proof: fresh challenge signed by the certified key.
         let mut challenge = [0u8; 32];
         self.rng.lock().fill_bytes(&mut challenge);
@@ -165,39 +185,39 @@ impl LoginNode {
             key_id: cert.key_id.clone(),
             started_at_ms: self.clock.now_ms(),
         };
-        self.sessions
-            .write()
-            .insert(session.id.clone(), session.clone());
+        self.sessions.insert(session.id.clone(), session.clone());
         Ok(session)
     }
 
     /// Is a session alive?
     pub fn session_alive(&self, id: &str) -> bool {
-        self.sessions.read().contains_key(id)
+        self.sessions.contains_key(id)
     }
 
     /// Close a session.
     pub fn close_session(&self, id: &str) -> bool {
-        self.sessions.write().remove(id).is_some()
+        self.sessions.remove(id).is_some()
     }
 
     /// Sever every session belonging to a certificate key id (kill switch
-    /// driven by subject, not account).
+    /// driven by subject, not account). Sweeps every shard.
     pub fn sever_by_key_id(&self, key_id: &str) -> usize {
-        let mut sessions = self.sessions.write();
-        let before = sessions.len();
-        sessions.retain(|_, s| s.key_id != key_id);
-        before - sessions.len()
+        self.sessions.retain(|_, s| s.key_id != key_id)
     }
 
     /// Number of live sessions.
     pub fn session_count(&self) -> usize {
-        self.sessions.read().len()
+        self.sessions.len()
+    }
+
+    /// Live sessions per shard, in shard order.
+    pub fn session_shard_lens(&self) -> Vec<usize> {
+        self.sessions.shard_lens()
     }
 
     /// Number of provisioned accounts.
     pub fn account_count(&self) -> usize {
-        self.accounts.read().len()
+        self.accounts.len()
     }
 }
 
@@ -224,7 +244,12 @@ mod tests {
             SimRng::seed_from_u64(7),
         );
         node.provision_account("u123", "climate-llm");
-        Fixture { node, ca, user_key, clock }
+        Fixture {
+            node,
+            ca,
+            user_key,
+            clock,
+        }
     }
 
     fn cert(f: &Fixture) -> SshCertificate {
@@ -315,7 +340,10 @@ mod tests {
             Err(LoginError::AccountLocked)
         );
         f.node.set_locked("u123", false);
-        assert!(f.node.open_session(&c, "u123", |ch| f.user_key.sign(ch)).is_ok());
+        assert!(f
+            .node
+            .open_session(&c, "u123", |ch| f.user_key.sign(ch))
+            .is_ok());
     }
 
     #[test]
@@ -351,8 +379,14 @@ mod tests {
             signature: [0u8; 64],
         }
         .signed(&f.ca);
-        let s1 = f.node.open_session(&c1, "u123", |ch| f.user_key.sign(ch)).unwrap();
-        let s2 = f.node.open_session(&c2, "u456", |ch| other_key.sign(ch)).unwrap();
+        let s1 = f
+            .node
+            .open_session(&c1, "u123", |ch| f.user_key.sign(ch))
+            .unwrap();
+        let s2 = f
+            .node
+            .open_session(&c2, "u456", |ch| other_key.sign(ch))
+            .unwrap();
         assert_eq!(f.node.sever_by_key_id("maid-1"), 1);
         assert!(!f.node.session_alive(&s1.id));
         assert!(f.node.session_alive(&s2.id));

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use dri_broker::broker::Jwks;
 use dri_clock::SimClock;
 use dri_crypto::jwt::JwtError;
+use dri_sync::Snapshot;
 use parking_lot::RwLock;
 
 use crate::slurm::Scheduler;
@@ -88,7 +89,7 @@ pub struct ManagementPlane {
     /// Audience expected on tokens.
     pub audience: String,
     clock: SimClock,
-    jwks: RwLock<Jwks>,
+    jwks: Snapshot<Jwks>,
     scheduler: Arc<Scheduler>,
     cluster_acl: RwLock<HashSet<String>>,
     ops_executed: RwLock<Vec<(u64, String, MgmtOp)>>,
@@ -100,16 +101,16 @@ impl ManagementPlane {
         ManagementPlane {
             audience: "mgmt-cluster".to_string(),
             clock,
-            jwks: RwLock::new(jwks),
+            jwks: Snapshot::new(jwks),
             scheduler,
             cluster_acl: RwLock::new(HashSet::new()),
             ops_executed: RwLock::new(Vec::new()),
         }
     }
 
-    /// Refresh the JWKS snapshot.
+    /// Refresh the JWKS snapshot (key rotation).
     pub fn update_jwks(&self, jwks: Jwks) {
-        *self.jwks.write() = jwks;
+        self.jwks.store(jwks);
     }
 
     /// Add a subject to the cluster-local ACL.
@@ -137,7 +138,7 @@ impl ManagementPlane {
         let now = self.clock.now_secs();
         let claims = self
             .jwks
-            .read()
+            .load()
             .validate(token, &self.audience, now)
             .map_err(MgmtError::BadToken)?;
         if !claims.has_role("sysadmin") {
@@ -212,7 +213,10 @@ mod tests {
         broker.register_service(TokenPolicy::admin("mgmt-cluster", 600));
         let session = broker
             .login_managed(
-                &ManagedLogin { subject: "admin:dave".into(), acr: "mfa-hw".into() },
+                &ManagedLogin {
+                    subject: "admin:dave".into(),
+                    acr: "mfa-hw".into(),
+                },
                 IdentitySource::AdminIdp,
             )
             .unwrap();
@@ -220,11 +224,19 @@ mod tests {
         scheduler.add_partition("gh", 8, 8);
         let mgmt = ManagementPlane::new(broker.jwks(), scheduler.clone(), clock);
         mgmt.acl_add("admin:dave");
-        Fixture { mgmt, broker, scheduler, admin_session: session.session_id }
+        Fixture {
+            mgmt,
+            broker,
+            scheduler,
+            admin_session: session.session_id,
+        }
     }
 
     fn admin_token(f: &Fixture) -> String {
-        f.broker.issue_token(&f.admin_session, "mgmt-cluster").unwrap().0
+        f.broker
+            .issue_token(&f.admin_session, "mgmt-cluster")
+            .unwrap()
+            .0
     }
 
     #[test]
@@ -248,12 +260,14 @@ mod tests {
     fn direct_transport_rejected_before_token_check() {
         let f = fixture();
         assert_eq!(
-            f.mgmt.execute(TransportPath::Direct, &admin_token(&f), MgmtOp::Health),
+            f.mgmt
+                .execute(TransportPath::Direct, &admin_token(&f), MgmtOp::Health),
             Err(MgmtError::WrongTransport)
         );
         // Even garbage tokens get the same error — transport first.
         assert_eq!(
-            f.mgmt.execute(TransportPath::Direct, "garbage", MgmtOp::Health),
+            f.mgmt
+                .execute(TransportPath::Direct, "garbage", MgmtOp::Health),
             Err(MgmtError::WrongTransport)
         );
     }
@@ -264,7 +278,8 @@ mod tests {
         // Remove from the cluster ACL: valid admin token no longer enough.
         f.mgmt.acl_remove("admin:dave");
         assert_eq!(
-            f.mgmt.execute(TransportPath::Tailnet, &admin_token(&f), MgmtOp::Health),
+            f.mgmt
+                .execute(TransportPath::Tailnet, &admin_token(&f), MgmtOp::Health),
             Err(MgmtError::NotOnClusterAcl)
         );
         f.mgmt.acl_add("admin:dave");
@@ -278,7 +293,8 @@ mod tests {
     fn bad_tokens_rejected() {
         let f = fixture();
         assert!(matches!(
-            f.mgmt.execute(TransportPath::Tailnet, "junk", MgmtOp::Health),
+            f.mgmt
+                .execute(TransportPath::Tailnet, "junk", MgmtOp::Health),
             Err(MgmtError::BadToken(_))
         ));
     }

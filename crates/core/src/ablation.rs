@@ -44,9 +44,19 @@ impl PerimeterBaseline {
         let network = Network::new(clock);
         network.add_host("internet/user", Domain::Internet, Zone::Public, &[]);
         network.add_host("internet/attacker", Domain::Internet, Zone::Public, &[]);
-        network.add_host("mdc/login01", Domain::Mdc, Zone::Hpc, &["ssh", "jupyter-auth"]);
+        network.add_host(
+            "mdc/login01",
+            Domain::Mdc,
+            Zone::Hpc,
+            &["ssh", "jupyter-auth"],
+        );
         network.add_host("mdc/compute01", Domain::Mdc, Zone::Hpc, &["slurmd"]);
-        network.add_host("mdc/mgmt01", Domain::Mdc, Zone::Management, &["admin-api", "ssh"]);
+        network.add_host(
+            "mdc/mgmt01",
+            Domain::Mdc,
+            Zone::Management,
+            &["admin-api", "ssh"],
+        );
         network.add_host("mdc/storage01", Domain::Mdc, Zone::DataStorage, &["lustre"]);
         network.add_host("sws/logs", Domain::Sws, Zone::Management, &["syslog"]);
         // Perimeter: internet reaches the login node directly …
@@ -69,7 +79,10 @@ impl PerimeterBaseline {
             Selector::InDomain(Domain::Sws),
             "*",
         );
-        PerimeterBaseline { network, project_count }
+        PerimeterBaseline {
+            network,
+            project_count,
+        }
     }
 
     /// Blast radius of one stolen long-lived SSH key: the attacker lands
@@ -176,7 +189,10 @@ mod tests {
     fn zta_blast_radius_is_contained() {
         let infra = Infrastructure::new(InfraConfig::default());
         let br = infra.zta_blast_radius(1);
-        assert_eq!(br.management_reachable, 0, "mgmt zone unreachable from HPC foothold");
+        assert_eq!(
+            br.management_reachable, 0,
+            "mgmt zone unreachable from HPC foothold"
+        );
         assert_eq!(br.projects_exposed, 1, "only the stolen cert's project");
         assert_eq!(br.exposure_secs, infra.config.cert_ttl_secs);
     }

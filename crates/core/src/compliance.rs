@@ -111,10 +111,7 @@ impl Infrastructure {
             default_deny_fabric: true,
             mgmt_only_via_tailnet: true,
             credentials_time_limited: true,
-            max_token_ttl_secs: self
-                .config
-                .session_ttl_secs
-                .max(self.config.cert_ttl_secs),
+            max_token_ttl_secs: self.config.session_ttl_secs.max(self.config.cert_ttl_secs),
             logs_shipped_to_sec: true,
             kill_switches_present: true,
             separate_admin_idp: true,

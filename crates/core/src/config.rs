@@ -2,8 +2,43 @@
 
 use dri_siem::DetectionConfig;
 
+/// Validation failures from [`InfraConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A field that must be at least 1 was zero.
+    MustBeNonZero(&'static str),
+    /// `broker_shards` outside the supported `1..=1024` range.
+    ShardsOutOfRange(usize),
+    /// `broker_shards` must be a power of two so the subject-hash
+    /// routing is a mask, and so `shard_count()` reports exactly what
+    /// was requested (the shard maps round up otherwise).
+    ShardsNotPowerOfTwo(usize),
+    /// The edge window must be long enough to score rates at all.
+    WindowTooShort(u64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::MustBeNonZero(field) => write!(f, "{field} must be at least 1"),
+            ConfigError::ShardsOutOfRange(n) => {
+                write!(f, "broker_shards {n} outside 1..=1024")
+            }
+            ConfigError::ShardsNotPowerOfTwo(n) => {
+                write!(f, "broker_shards {n} is not a power of two")
+            }
+            ConfigError::WindowTooShort(ms) => {
+                write!(f, "edge_window_ms {ms} too short (minimum 10ms)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Tunable parameters of the co-design. `Default` matches the deployment
-/// the paper describes; experiments vary individual fields.
+/// the paper describes; experiments vary individual fields, either
+/// directly or through the validating [`InfraConfig::builder`].
 #[derive(Debug, Clone)]
 pub struct InfraConfig {
     /// Master determinism seed.
@@ -32,6 +67,9 @@ pub struct InfraConfig {
     pub edge_window_ms: u64,
     /// Edge requests-per-window threshold per source.
     pub edge_threshold: usize,
+    /// Shards for the broker's session/token maps (rounded to a power of
+    /// two; 1 reproduces a single coarse lock).
+    pub broker_shards: usize,
     /// SIEM detection thresholds.
     pub detection: DetectionConfig,
     /// Enable the in-progress HPC-fabric / parallel-FS encryption the
@@ -55,9 +93,96 @@ impl Default for InfraConfig {
             interactive_nodes: 64,
             edge_window_ms: 1_000,
             edge_threshold: 50,
+            broker_shards: 16,
             detection: DetectionConfig::default(),
             hpc_fabric_encryption: false,
         }
+    }
+}
+
+impl InfraConfig {
+    /// Start a validating builder seeded with the paper-deployment
+    /// defaults.
+    pub fn builder() -> InfraConfigBuilder {
+        InfraConfigBuilder {
+            cfg: InfraConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`InfraConfig`] that validates the experiment-tuned
+/// fields before the infrastructure is assembled, so a bad sweep value
+/// fails with a typed error instead of a mid-run panic.
+#[derive(Debug, Clone)]
+pub struct InfraConfigBuilder {
+    cfg: InfraConfig,
+}
+
+impl InfraConfigBuilder {
+    /// Set the determinism seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Set the Jupyter concurrent-session capacity.
+    pub fn jupyter_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.jupyter_capacity = capacity;
+        self
+    }
+
+    /// Set the interactive partition size.
+    pub fn interactive_nodes(mut self, nodes: u32) -> Self {
+        self.cfg.interactive_nodes = nodes;
+        self
+    }
+
+    /// Set the edge requests-per-window threshold.
+    pub fn edge_threshold(mut self, threshold: usize) -> Self {
+        self.cfg.edge_threshold = threshold;
+        self
+    }
+
+    /// Set the edge DDoS scoring window (ms).
+    pub fn edge_window_ms(mut self, window_ms: u64) -> Self {
+        self.cfg.edge_window_ms = window_ms;
+        self
+    }
+
+    /// Set the broker shard count (1 = coarse-lock baseline).
+    pub fn broker_shards(mut self, shards: usize) -> Self {
+        self.cfg.broker_shards = shards;
+        self
+    }
+
+    /// Toggle the future-work HPC-fabric encryption.
+    pub fn hpc_fabric_encryption(mut self, enabled: bool) -> Self {
+        self.cfg.hpc_fabric_encryption = enabled;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<InfraConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.jupyter_capacity == 0 {
+            return Err(ConfigError::MustBeNonZero("jupyter_capacity"));
+        }
+        if cfg.interactive_nodes == 0 {
+            return Err(ConfigError::MustBeNonZero("interactive_nodes"));
+        }
+        if cfg.edge_threshold == 0 {
+            return Err(ConfigError::MustBeNonZero("edge_threshold"));
+        }
+        if cfg.broker_shards == 0 || cfg.broker_shards > 1024 {
+            return Err(ConfigError::ShardsOutOfRange(cfg.broker_shards));
+        }
+        if !cfg.broker_shards.is_power_of_two() {
+            return Err(ConfigError::ShardsNotPowerOfTwo(cfg.broker_shards));
+        }
+        if cfg.edge_window_ms < 10 {
+            return Err(ConfigError::WindowTooShort(cfg.edge_window_ms));
+        }
+        Ok(cfg)
     }
 }
 
@@ -72,5 +197,73 @@ mod tests {
         assert_eq!(c.bastion_instances, 3);
         assert!(c.ssh_token_ttl_secs <= 3600, "tokens are short-lived");
         assert!(c.cert_ttl_secs <= 24 * 3600, "certs are short-lived");
+    }
+
+    #[test]
+    fn builder_defaults_build_cleanly() {
+        let c = InfraConfig::builder().build().unwrap();
+        assert_eq!(c.seed, InfraConfig::default().seed);
+        assert_eq!(c.broker_shards, 16);
+    }
+
+    #[test]
+    fn builder_applies_settings() {
+        let c = InfraConfig::builder()
+            .seed(7)
+            .jupyter_capacity(4096)
+            .interactive_nodes(4096)
+            .edge_threshold(usize::MAX / 2)
+            .broker_shards(1)
+            .hpc_fabric_encryption(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.jupyter_capacity, 4096);
+        assert_eq!(c.interactive_nodes, 4096);
+        assert_eq!(c.broker_shards, 1);
+        assert!(c.hpc_fabric_encryption);
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        assert_eq!(
+            InfraConfig::builder()
+                .jupyter_capacity(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::MustBeNonZero("jupyter_capacity")
+        );
+        assert_eq!(
+            InfraConfig::builder()
+                .interactive_nodes(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::MustBeNonZero("interactive_nodes")
+        );
+        assert_eq!(
+            InfraConfig::builder()
+                .edge_threshold(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::MustBeNonZero("edge_threshold")
+        );
+        assert_eq!(
+            InfraConfig::builder()
+                .broker_shards(2048)
+                .build()
+                .unwrap_err(),
+            ConfigError::ShardsOutOfRange(2048)
+        );
+        assert_eq!(
+            InfraConfig::builder().broker_shards(3).build().unwrap_err(),
+            ConfigError::ShardsNotPowerOfTwo(3)
+        );
+        assert_eq!(
+            InfraConfig::builder()
+                .edge_window_ms(1)
+                .build()
+                .unwrap_err(),
+            ConfigError::WindowTooShort(1)
+        );
     }
 }

@@ -1,0 +1,212 @@
+//! Typed identifier handles for the public story API.
+//!
+//! The six user stories used to traffic in bare `String`s, which made it
+//! easy to pass a project id where a session id was expected (both are
+//! opaque hex-ish blobs). Each identifier class now gets its own newtype:
+//!
+//! * [`Cuid`] — a community user id minted by the MyAccessID proxy or a
+//!   managed IdP (e.g. `maid-…`, `last-resort:alice`, `admin:dave`);
+//! * [`ProjectId`] — a portal project id;
+//! * [`SessionId`] — a broker session id;
+//! * [`UserLabel`] — the simulation-local label a user was created under
+//!   (`infra.create_federated_user("alice", …)` → label `alice`).
+//!
+//! The newtypes are deliberately cheap to adopt: `From<&str>` /
+//! `From<String>` conversions in, `Deref<Target = str>` / `Display` /
+//! `AsRef<str>` out, and symmetric `PartialEq` against plain strings, so
+//! call sites that treat them as text keep compiling while the signatures
+//! document (and the compiler enforces) which identifier goes where.
+
+use std::borrow::Borrow;
+
+macro_rules! typed_id {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(String);
+
+        impl $name {
+            /// Wrap a raw identifier string.
+            pub fn new(raw: impl Into<String>) -> $name {
+                $name(raw.into())
+            }
+
+            /// The raw string form.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+
+            /// Consume the handle, returning the raw string.
+            pub fn into_string(self) -> String {
+                self.0
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(raw: &str) -> $name {
+                $name(raw.to_string())
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(raw: String) -> $name {
+                $name(raw)
+            }
+        }
+
+        impl From<&String> for $name {
+            fn from(raw: &String) -> $name {
+                $name(raw.clone())
+            }
+        }
+
+        impl From<&&str> for $name {
+            fn from(raw: &&str) -> $name {
+                $name((*raw).to_string())
+            }
+        }
+
+        impl From<&$name> for $name {
+            fn from(id: &$name) -> $name {
+                id.clone()
+            }
+        }
+
+        impl std::ops::Deref for $name {
+            type Target = str;
+            fn deref(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl PartialEq<str> for $name {
+            fn eq(&self, other: &str) -> bool {
+                self.0 == other
+            }
+        }
+
+        impl PartialEq<&str> for $name {
+            fn eq(&self, other: &&str) -> bool {
+                self.0 == *other
+            }
+        }
+
+        impl PartialEq<String> for $name {
+            fn eq(&self, other: &String) -> bool {
+                &self.0 == other
+            }
+        }
+
+        impl PartialEq<$name> for str {
+            fn eq(&self, other: &$name) -> bool {
+                self == other.0
+            }
+        }
+
+        impl PartialEq<$name> for &str {
+            fn eq(&self, other: &$name) -> bool {
+                *self == other.0
+            }
+        }
+
+        impl PartialEq<$name> for String {
+            fn eq(&self, other: &$name) -> bool {
+                self == &other.0
+            }
+        }
+    };
+}
+
+typed_id! {
+    /// A community user id — the stable subject the broker, portal, and
+    /// authorisation source all key on (`maid-…` for federated users,
+    /// `last-resort:…` / `admin:…` for managed accounts).
+    Cuid
+}
+
+typed_id! {
+    /// A portal project id, as returned by project creation and accepted
+    /// by every portal lookup.
+    ProjectId
+}
+
+typed_id! {
+    /// A broker session id — the interactive-session handle that tokens
+    /// are minted against and kill switches revoke.
+    SessionId
+}
+
+typed_id! {
+    /// A simulation-local user label (the name a user was created under),
+    /// distinct from the [`Cuid`] their registration mints.
+    UserLabel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let a: Cuid = "maid-0001".into();
+        let b = Cuid::from("maid-0001".to_string());
+        let c = Cuid::new(b.as_str());
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.as_str(), "maid-0001");
+        assert_eq!(a.clone().into_string(), "maid-0001");
+        let via_ref: Cuid = (&a).into();
+        assert_eq!(via_ref, a);
+    }
+
+    #[test]
+    fn string_interop() {
+        let p = ProjectId::from("proj-42");
+        assert_eq!(p, "proj-42");
+        assert_eq!("proj-42", p);
+        assert_eq!(p, "proj-42".to_string());
+        assert!(p.starts_with("proj-"));
+        assert_eq!(format!("{p}"), "proj-42");
+        // Deref lets &ProjectId feed &str APIs.
+        fn takes_str(s: &str) -> usize {
+            s.len()
+        }
+        assert_eq!(takes_str(&p), 7);
+    }
+
+    #[test]
+    fn distinct_types_do_not_cross() {
+        // Compile-time property: a SessionId is not a ProjectId. Here we
+        // just confirm the values behave independently.
+        let s = SessionId::from("abc");
+        let u = UserLabel::from("abc");
+        assert_eq!(s.as_str(), u.as_str());
+    }
+
+    #[test]
+    fn usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Cuid, u32> = HashMap::new();
+        m.insert(Cuid::from("maid-1"), 7);
+        // Borrow<str> allows lookups by plain &str.
+        assert_eq!(m.get("maid-1"), Some(&7));
+    }
+}

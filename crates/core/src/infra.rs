@@ -27,8 +27,8 @@ use dri_netsim::topology::{Domain, Network, Selector, Zone};
 use dri_netsim::tunnel::{HttpResponse, TunnelServer};
 use dri_policy::trust::PolicyDecisionPoint;
 use dri_portal::portal::Portal;
-use dri_siem::events::{EventKind, SecurityEvent, Severity};
 use dri_siem::anomaly::{AnomalyConfig, AnomalyDetector, RateAnomaly};
+use dri_siem::events::{EventKind, SecurityEvent, Severity};
 use dri_siem::inventory::{Inventory, Version, Vulnerability};
 use dri_siem::siem::Siem;
 use dri_sshca::ca::SshCa;
@@ -99,8 +99,9 @@ pub struct Infrastructure {
     /// Asset inventory.
     pub inventory: Arc<Inventory>,
     /// Per-source event-rate anomaly detector (tenet 7's feedback loop).
+    /// Fed from a SIEM ingest tap at batch-drain time.
     pub anomaly: Arc<AnomalyDetector>,
-    rate_anomalies: RwLock<Vec<RateAnomaly>>,
+    rate_anomalies: Arc<RwLock<Vec<RateAnomaly>>>,
     /// The policy decision point.
     pub pdp: PolicyDecisionPoint,
     /// Simulated users (client-side state lives here).
@@ -168,20 +169,24 @@ impl Infrastructure {
             MEMBER_AUDIENCES.iter().map(|s| s.to_string()).collect(),
         ));
         let authz: Arc<dyn AuthorizationSource> = portal.clone();
-        let broker = Arc::new(IdentityBroker::new(
+        let broker = Arc::new(IdentityBroker::with_shards(
             BROKER_ENTITY,
             rng.seed32(),
             config.session_ttl_secs,
             clock.clone(),
             registry.clone(),
             authz,
+            config.broker_shards,
         ));
         broker.register_service(TokenPolicy::standard("ssh-ca", config.ssh_token_ttl_secs));
         broker.register_service(TokenPolicy::standard(
             "jupyter",
             config.jupyter_token_ttl_secs,
         ));
-        broker.register_service(TokenPolicy::standard("slurm", config.jupyter_token_ttl_secs));
+        broker.register_service(TokenPolicy::standard(
+            "slurm",
+            config.jupyter_token_ttl_secs,
+        ));
         broker.register_service(TokenPolicy::standard("portal", 3600));
         broker.register_service(TokenPolicy::admin(
             "mgmt-tailnet",
@@ -192,7 +197,11 @@ impl Infrastructure {
             config.admin_token_ttl_secs,
         ));
 
-        let oidc = Arc::new(OidcProvider::new(broker.clone(), clock.clone(), rng.split()));
+        let oidc = Arc::new(OidcProvider::new(
+            broker.clone(),
+            clock.clone(),
+            rng.split(),
+        ));
         oidc.register_client(OidcClient {
             client_id: "ssh-cert-cli".into(),
             redirect_uri: "urn:ietf:wg:oauth:2.0:oob".into(),
@@ -210,8 +219,12 @@ impl Infrastructure {
         });
 
         let admin_idp = Arc::new(ManagedIdp::new("admin", true, clock.clone(), rng.split()));
-        let last_resort_idp =
-            Arc::new(ManagedIdp::new("last-resort", false, clock.clone(), rng.split()));
+        let last_resort_idp = Arc::new(ManagedIdp::new(
+            "last-resort",
+            false,
+            clock.clone(),
+            rng.split(),
+        ));
 
         // --- SSH CA ------------------------------------------------------------
         let broker_for_ca = broker.clone();
@@ -252,11 +265,12 @@ impl Infrastructure {
         scheduler.add_partition("gh", config.compute_nodes, config.compute_nodes);
         scheduler.add_partition("interactive", config.interactive_nodes, 1);
 
-        let login_node = Arc::new(LoginNode::new(
+        let login_node = Arc::new(LoginNode::with_shards(
             "mdc/login01",
             ssh_ca.public_key(),
             clock.clone(),
             rng.split(),
+            config.broker_shards,
         ));
 
         let broker_for_jupyter = broker.clone();
@@ -293,7 +307,10 @@ impl Infrastructure {
                 &client_private,
                 "/jupyter",
                 Arc::new(move |req| match jupyter_for_tunnel.spawn(&req.headers) {
-                    Ok(session) => HttpResponse { status: 200, body: session.id.into_bytes() },
+                    Ok(session) => HttpResponse {
+                        status: 200,
+                        body: session.id.into_bytes(),
+                    },
                     Err(e) => {
                         let status = match e {
                             dri_cluster::jupyter::JupyterError::NoToken
@@ -303,7 +320,10 @@ impl Infrastructure {
                             | dri_cluster::jupyter::JupyterError::NoAccount => 403,
                             _ => 503,
                         };
-                        HttpResponse { status, body: e.to_string().into_bytes() }
+                        HttpResponse {
+                            status,
+                            body: e.to_string().into_bytes(),
+                        }
                     }
                 }),
             )
@@ -319,6 +339,21 @@ impl Infrastructure {
         let siem = Arc::new(Siem::new(clock.clone(), config.detection.clone()));
         let inventory = Arc::new(Inventory::new());
         seed_inventory(&inventory, config.bastion_instances);
+
+        // The rate-anomaly detector taps the SIEM's ingest queue: every
+        // drained event is observed at batch-drain time, off the
+        // emitters' hot path.
+        let anomaly = Arc::new(AnomalyDetector::new(AnomalyConfig::default()));
+        let rate_anomalies: Arc<RwLock<Vec<RateAnomaly>>> = Arc::new(RwLock::new(Vec::new()));
+        {
+            let anomaly = anomaly.clone();
+            let rate_anomalies = rate_anomalies.clone();
+            siem.register_tap(Box::new(move |event| {
+                if let Some(found) = anomaly.observe(&event.source, event.at_ms) {
+                    rate_anomalies.write().push(found);
+                }
+            }));
+        }
 
         let infra = Infrastructure {
             config,
@@ -345,8 +380,8 @@ impl Infrastructure {
             mgmt,
             siem,
             inventory,
-            anomaly: Arc::new(AnomalyDetector::new(AnomalyConfig::default())),
-            rate_anomalies: RwLock::new(Vec::new()),
+            anomaly,
+            rate_anomalies,
             pdp: PolicyDecisionPoint::default(),
             users: RwLock::new(HashMap::new()),
             mgmt_node,
@@ -362,7 +397,8 @@ impl Infrastructure {
         self.create_admin("ops", "ops-password");
         self.admin_idp.vet_user("ops").expect("vet ops");
         self.portal.add_allocator("admin:ops");
-        self.portal.grant_admin("admin:ops", "portal", &["allocator"]);
+        self.portal
+            .grant_admin("admin:ops", "portal", &["allocator"]);
         self.portal
             .grant_admin("admin:ops", "mgmt-tailnet", &["sysadmin"]);
         self.portal
@@ -524,9 +560,11 @@ impl Infrastructure {
                 .get(label)
                 .ok_or_else(|| FlowError::NoSuchUser(label.to_string()))?;
             match &user.kind {
-                UserKind::Federated { idp_entity, username, password } => {
-                    (idp_entity.clone(), username.clone(), password.clone())
-                }
+                UserKind::Federated {
+                    idp_entity,
+                    username,
+                    password,
+                } => (idp_entity.clone(), username.clone(), password.clone()),
                 _ => return Err(FlowError::WrongIdentityKind),
             }
         };
@@ -593,9 +631,7 @@ impl Infrastructure {
                 .get(label)
                 .ok_or_else(|| FlowError::NoSuchUser(label.to_string()))?;
             match &user.kind {
-                UserKind::LastResort { username, password } => {
-                    (username.clone(), password.clone())
-                }
+                UserKind::LastResort { username, password } => (username.clone(), password.clone()),
                 _ => return Err(FlowError::WrongIdentityKind),
             }
         };
@@ -632,9 +668,11 @@ impl Infrastructure {
                 .get(label)
                 .ok_or_else(|| FlowError::NoSuchUser(label.to_string()))?;
             match &user.kind {
-                UserKind::Admin { username, password, hw_key } => {
-                    (username.clone(), password.clone(), hw_key.clone())
-                }
+                UserKind::Admin {
+                    username,
+                    password,
+                    hw_key,
+                } => (username.clone(), password.clone(), hw_key.clone()),
                 _ => return Err(FlowError::WrongIdentityKind),
             }
         };
@@ -715,8 +753,10 @@ impl Infrastructure {
 
     // --- Telemetry --------------------------------------------------------------
 
-    /// Emit a security event into the SIEM (the log-forwarder path).
-    /// Every event also feeds the per-source rate-anomaly detector.
+    /// Emit a security event into the SIEM (the log-forwarder path):
+    /// fire-and-forget onto the SIEM's bounded ingest queue. Detection
+    /// rules and the per-source rate-anomaly detector run when the queue
+    /// is batch-drained (any SIEM accessor, or [`dri_siem::siem::Siem::flush`]).
     pub fn emit(
         &self,
         source: &str,
@@ -726,17 +766,16 @@ impl Infrastructure {
         severity: Severity,
     ) {
         let at_ms = self.clock.now_ms();
-        if let Some(found) = self.anomaly.observe(source, at_ms) {
-            self.rate_anomalies.write().push(found);
-        }
-        self.siem.ingest(vec![SecurityEvent::new(
+        self.siem.enqueue(SecurityEvent::new(
             at_ms, source, kind, subject, detail, severity,
-        )]);
+        ));
     }
 
     /// Rate anomalies flagged so far (statistical detections, distinct
-    /// from the SIEM's signature rules).
+    /// from the SIEM's signature rules). Drains the SIEM queue first so
+    /// the answer reflects every event emitted before the call.
     pub fn rate_anomalies(&self) -> Vec<RateAnomaly> {
+        self.siem.flush();
         self.rate_anomalies.read().clone()
     }
 
@@ -748,15 +787,16 @@ impl Infrastructure {
         let mapped: Vec<SecurityEvent> = events
             .into_iter()
             .map(|e| {
-                if let Some(found) = self.anomaly.observe(&e.src, e.at_ms) {
-                    self.rate_anomalies.write().push(found);
-                }
                 let kind = if e.allowed {
                     EventKind::ConnAllowed
                 } else {
                     EventKind::ConnDenied
                 };
-                let severity = if e.allowed { Severity::Info } else { Severity::Warning };
+                let severity = if e.allowed {
+                    Severity::Info
+                } else {
+                    Severity::Warning
+                };
                 SecurityEvent::new(
                     e.at_ms,
                     e.src.clone(),
@@ -820,14 +860,29 @@ fn build_fabric(net: &Network) {
     net.add_host("fds/broker", Domain::Fds, Zone::Access, &["https"]);
     net.add_host("fds/portal", Domain::Fds, Zone::Access, &["https"]);
     net.add_host("fds/ssh-ca", Domain::Fds, Zone::Access, &["https"]);
-    net.add_host("fds/zenith", Domain::Fds, Zone::Access, &["zenith", "https"]);
+    net.add_host(
+        "fds/zenith",
+        Domain::Fds,
+        Zone::Access,
+        &["zenith", "https"],
+    );
     net.add_host("sws/bastion", Domain::Sws, Zone::Access, &["ssh"]);
     net.add_host("sws/logs", Domain::Sws, Zone::Management, &["syslog"]);
-    net.add_host("mdc/login01", Domain::Mdc, Zone::Hpc, &["ssh", "jupyter-auth"]);
+    net.add_host(
+        "mdc/login01",
+        Domain::Mdc,
+        Zone::Hpc,
+        &["ssh", "jupyter-auth"],
+    );
     net.add_host("mdc/compute01", Domain::Mdc, Zone::Hpc, &["slurmd"]);
     net.add_host("mdc/mgmt01", Domain::Mdc, Zone::Management, &["admin-api"]);
     net.add_host("mdc/storage01", Domain::Mdc, Zone::DataStorage, &["lustre"]);
-    net.add_host("sec/siem", Domain::Sec, Zone::Security, &["syslog", "siem-api"]);
+    net.add_host(
+        "sec/siem",
+        Domain::Sec,
+        Zone::Security,
+        &["syslog", "siem-api"],
+    );
 
     // Internet-facing: only FDS https (behind the edge) and the bastion's ssh.
     net.allow(
@@ -946,8 +1001,7 @@ mod tests {
             b.ssh_ca.public_key().as_bytes()
         );
         assert_eq!(a.proxy.verifying_key(), b.proxy.verifying_key());
-        let mut cfg = InfraConfig::default();
-        cfg.seed = 43;
+        let cfg = InfraConfig::builder().seed(43).build().unwrap();
         let c = Infrastructure::new(cfg);
         assert_ne!(
             a.ssh_ca.public_key().as_bytes(),
@@ -988,8 +1042,14 @@ mod tests {
             );
         }
         // Only the two designed entry points are open.
-        assert!(infra.network.check("internet/user", "sws/bastion", "ssh").is_ok());
-        assert!(infra.network.check("internet/user", "fds/broker", "https").is_ok());
+        assert!(infra
+            .network
+            .check("internet/user", "sws/bastion", "ssh")
+            .is_ok());
+        assert!(infra
+            .network
+            .check("internet/user", "fds/broker", "https")
+            .is_ok());
     }
 
     #[test]
@@ -1008,7 +1068,9 @@ mod tests {
         let infra = Infrastructure::new(InfraConfig::default());
         // Drain construction-time traffic (the Zenith tunnel dial-out).
         let _ = infra.network.drain_log();
-        let _ = infra.network.connect("internet/attacker", "mdc/mgmt01", "admin-api");
+        let _ = infra
+            .network
+            .connect("internet/attacker", "mdc/mgmt01", "admin-api");
         let _ = infra.network.connect("internet/user", "sws/bastion", "ssh");
         let n = infra.pump_network_logs();
         assert_eq!(n, 2);
@@ -1022,7 +1084,10 @@ mod tests {
         // zenith 0.9.0 and others are fine; slurm 23.11.4 is fixed; the
         // feed should currently be clean because everything is patched.
         let findings = infra.inventory.scan();
-        assert!(findings.is_empty(), "deployment starts patched: {findings:?}");
+        assert!(
+            findings.is_empty(),
+            "deployment starts patched: {findings:?}"
+        );
         // Downgrade a bastion; scan flags it.
         infra
             .inventory

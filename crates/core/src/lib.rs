@@ -6,20 +6,40 @@
 //! of §IV as a typed API.
 //!
 //! ```
-//! use dri_core::{Infrastructure, InfraConfig};
+//! use dri_core::prelude::*;
 //!
 //! let infra = Infrastructure::new(InfraConfig::default());
 //! // Provision a federated identity at the institutional IdP, then
-//! // onboard her as a PI through the full allocator -> invite ->
-//! // federated registration pipeline (user story 1):
+//! // onboard them as a PI through the full allocator -> invite ->
+//! // federated registration pipeline (user story 1). The outcome carries
+//! // typed handles — a ProjectId, a Cuid, a SessionId — not bare strings:
 //! infra.create_federated_user("alice", "correct-horse");
-//! let pi = infra.story1_onboard_pi("climate-llm", "alice", 1_000.0).unwrap();
-//! assert!(infra.portal.project(&pi.project_id).is_some());
+//! let pi: PiOutcome = infra.story1_onboard_pi("climate-llm", "alice", 1_000.0).unwrap();
+//! let project: &ProjectId = &pi.project_id;
+//! assert!(infra.portal.project(project).is_some());
+//! assert!(pi.cuid.starts_with("maid-"));
+//! ```
+//!
+//! Experiments that tune the deployment go through the validating
+//! builder instead of mutating fields by hand:
+//!
+//! ```
+//! use dri_core::prelude::*;
+//!
+//! let config = InfraConfig::builder()
+//!     .broker_shards(32)      // power-of-two shard count
+//!     .jupyter_capacity(512)
+//!     .build()
+//!     .unwrap();
+//! let infra = Infrastructure::new(config);
+//! assert_eq!(infra.broker.shard_count(), 32);
 //! ```
 //!
 //! Key entry points:
 //! * [`Infrastructure::new`] — build the whole co-design from a config;
-//! * `story1_…` to `story6_…` — the six user stories, end to end;
+//! * [`InfraConfig::builder`] — validated experiment configuration;
+//! * `story1_…` to `story6_…` — the six user stories, end to end, over
+//!   the typed handles in [`ids`];
 //! * [`Infrastructure::kill_user`] — the coordinated kill switch;
 //! * [`Infrastructure::reachability_matrix`] — the E1 segmentation map;
 //! * [`Infrastructure::tenet_audit`] — the E15 seven-tenet audit;
@@ -32,18 +52,21 @@ pub mod ablation;
 pub mod compliance;
 pub mod config;
 pub mod flows;
+pub mod ids;
 pub mod infra;
 pub mod killswitch;
 pub mod metrics;
+pub mod prelude;
 pub mod stories;
 pub mod users;
 
-pub use config::InfraConfig;
+pub use config::{ConfigError, InfraConfig, InfraConfigBuilder};
 pub use flows::FlowError;
+pub use ids::{Cuid, ProjectId, SessionId, UserLabel};
 pub use infra::{Infrastructure, BROKER_ENTITY, PROXY_ENTITY, UNIVERSITY_IDP};
 pub use killswitch::KillReport;
 pub use metrics::MetricsSnapshot;
 pub use stories::{
-    AdminOutcome, JupyterOutcome, PiOutcome, ResearcherOutcome, SshOutcome,
+    AdminOutcome, JupyterOutcome, PiOutcome, PrivilegedOpOutcome, ResearcherOutcome, SshOutcome,
 };
 pub use users::{SimUser, UserKind};

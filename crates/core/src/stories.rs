@@ -6,30 +6,31 @@
 //! wall-clock time from criterion.
 
 use dri_broker::authz::AuthorizationSource;
+use dri_cluster::jupyter::NotebookSession;
+use dri_cluster::login::ShellSession;
+use dri_cluster::mgmt::{MgmtOp, TransportPath};
 use dri_crypto::json::Value;
 use dri_netsim::bastion::RelaySession;
 use dri_netsim::tailnet::TailnetNode;
 use dri_netsim::tunnel::HttpRequest;
-use dri_cluster::login::ShellSession;
-use dri_cluster::mgmt::{MgmtOp, TransportPath};
-use dri_cluster::jupyter::NotebookSession;
 use dri_policy::trust::{AccessRequest, DevicePosture, Sensitivity, SourceZone};
 use dri_portal::project::{Allocation, DataClass};
 use dri_siem::events::{EventKind, Severity};
 use dri_sshca::client::SshCertClient;
 
 use crate::flows::FlowError;
+use crate::ids::{Cuid, ProjectId, SessionId, UserLabel};
 use crate::infra::Infrastructure;
 
 /// Outcome of user story 1 (PI onboarding).
 #[derive(Debug, Clone)]
 pub struct PiOutcome {
     /// The created project.
-    pub project_id: String,
+    pub project_id: ProjectId,
     /// The PI's community id.
-    pub cuid: String,
+    pub cuid: Cuid,
     /// The PI's broker session.
-    pub session_id: String,
+    pub session_id: SessionId,
     /// The minted per-project UNIX account.
     pub unix_account: String,
     /// Executed protocol steps.
@@ -40,9 +41,9 @@ pub struct PiOutcome {
 #[derive(Debug, Clone)]
 pub struct AdminOutcome {
     /// The admin subject (`admin:name`).
-    pub subject: String,
+    pub subject: Cuid,
     /// The admin's broker session.
-    pub session_id: String,
+    pub session_id: SessionId,
     /// Executed protocol steps.
     pub trace: Vec<&'static str>,
 }
@@ -51,9 +52,9 @@ pub struct AdminOutcome {
 #[derive(Debug, Clone)]
 pub struct ResearcherOutcome {
     /// The researcher's community id.
-    pub cuid: String,
+    pub cuid: Cuid,
     /// Their broker session.
-    pub session_id: String,
+    pub session_id: SessionId,
     /// The minted per-project UNIX account.
     pub unix_account: String,
     /// Executed protocol steps.
@@ -100,9 +101,11 @@ impl Infrastructure {
     pub fn story1_onboard_pi(
         &self,
         project_name: &str,
-        pi_label: &str,
+        pi_label: impl Into<UserLabel>,
         gpu_hours: f64,
     ) -> Result<PiOutcome, FlowError> {
+        let pi_label: UserLabel = pi_label.into();
+        let pi_label = pi_label.as_str();
         let mut trace = Vec::with_capacity(8);
 
         // Allocator creates the project and the PI invitation.
@@ -140,9 +143,9 @@ impl Infrastructure {
         trace.push("broker: establish session");
 
         Ok(PiOutcome {
-            project_id,
-            cuid,
-            session_id: session,
+            project_id: project_id.into(),
+            cuid: cuid.into(),
+            session_id: session.into(),
             unix_account: membership.unix_account,
             trace,
         })
@@ -151,7 +154,12 @@ impl Infrastructure {
     /// **User story 2** — a BriCS admin registers an administrators-only
     /// account: hardware-key registration, human vetting, per-service
     /// grants (no global admin), then a hardware-key login.
-    pub fn story2_register_admin(&self, label: &str) -> Result<AdminOutcome, FlowError> {
+    pub fn story2_register_admin(
+        &self,
+        label: impl Into<UserLabel>,
+    ) -> Result<AdminOutcome, FlowError> {
+        let label: UserLabel = label.into();
+        let label = label.as_str();
         let mut trace = Vec::with_capacity(6);
         self.create_admin(label, &format!("{label}-initial-password"));
         trace.push("admin idp: register account + enrol hardware key");
@@ -164,8 +172,10 @@ impl Infrastructure {
 
         let subject = format!("admin:{label}");
         // Per-service grants — explicitly not a global admin bit.
-        self.portal.grant_admin(&subject, "mgmt-tailnet", &["sysadmin"]);
-        self.portal.grant_admin(&subject, "mgmt-cluster", &["sysadmin"]);
+        self.portal
+            .grant_admin(&subject, "mgmt-tailnet", &["sysadmin"]);
+        self.portal
+            .grant_admin(&subject, "mgmt-cluster", &["sysadmin"]);
         self.mgmt.acl_add(&subject);
         trace.push("portal: per-service admin grants");
 
@@ -173,18 +183,28 @@ impl Infrastructure {
         trace.push("admin idp: hardware-key login ceremony");
         trace.push("broker: establish admin session");
 
-        Ok(AdminOutcome { subject, session_id: session.session_id, trace })
+        Ok(AdminOutcome {
+            subject: subject.into(),
+            session_id: session.session_id.into(),
+            trace,
+        })
     }
 
     /// **User story 3** — a PI invites a researcher, who registers and
     /// receives fewer privileges than the PI.
     pub fn story3_onboard_researcher(
         &self,
-        pi_label: &str,
-        project_id: &str,
+        pi_label: impl Into<UserLabel>,
+        project_id: impl Into<ProjectId>,
         project_name: &str,
-        researcher_label: &str,
+        researcher_label: impl Into<UserLabel>,
     ) -> Result<ResearcherOutcome, FlowError> {
+        let pi_label: UserLabel = pi_label.into();
+        let pi_label = pi_label.as_str();
+        let project_id: ProjectId = project_id.into();
+        let project_id = project_id.as_str();
+        let researcher_label: UserLabel = researcher_label.into();
+        let researcher_label = researcher_label.as_str();
         let mut trace = Vec::with_capacity(8);
         let pi_subject = self
             .subject_of(pi_label)
@@ -216,8 +236,8 @@ impl Infrastructure {
         trace.push("broker: establish session");
 
         Ok(ResearcherOutcome {
-            cuid,
-            session_id: session,
+            cuid: cuid.into(),
+            session_id: session.into(),
             unix_account: membership.unix_account,
             trace,
         })
@@ -228,9 +248,11 @@ impl Infrastructure {
     /// on the login node under the per-project UNIX account.
     pub fn story4_ssh_connect(
         &self,
-        label: &str,
+        label: impl Into<UserLabel>,
         project_name: &str,
     ) -> Result<SshOutcome, FlowError> {
+        let label: UserLabel = label.into();
+        let label = label.as_str();
         let mut trace = Vec::with_capacity(10);
         let session_id = self.session_of(label)?;
 
@@ -286,7 +308,13 @@ impl Infrastructure {
                 // Relay via the bastion (network + cert checks inside).
                 let relay = self
                     .bastion
-                    .relay(&self.network, "internet/user", "mdc/login01", &cert, &alias.user)
+                    .relay(
+                        &self.network,
+                        "internet/user",
+                        "mdc/login01",
+                        &cert,
+                        &alias.user,
+                    )
                     .map_err(FlowError::Bastion)?;
                 trace.push("bastion: relay with certificate check");
 
@@ -297,15 +325,18 @@ impl Infrastructure {
                     .map_err(FlowError::Login)?;
                 trace.push("login node: certificate + key possession check");
 
-                Ok(SshOutcome { relay, shell, cert_serial: cert.serial, trace })
+                Ok(SshOutcome {
+                    relay,
+                    shell,
+                    cert_serial: cert.serial,
+                    trace,
+                })
             }
             Err(dri_sshca::client::ClientError::Device(e)) => Err(FlowError::Device(e)),
             Err(dri_sshca::client::ClientError::Ca(e)) => Err(FlowError::Ca(e)),
-            Err(dri_sshca::client::ClientError::FlowStart) => {
-                Err(FlowError::Oidc(dri_broker::oidc::OidcError::UnknownClient(
-                    "ssh-cert-cli".into(),
-                )))
-            }
+            Err(dri_sshca::client::ClientError::FlowStart) => Err(FlowError::Oidc(
+                dri_broker::oidc::OidcError::UnknownClient("ssh-cert-cli".into()),
+            )),
         };
 
         // Put the client back regardless of outcome.
@@ -320,9 +351,11 @@ impl Infrastructure {
     /// encrypted command to the management plane → layered checks there.
     pub fn story5_privileged_op(
         &self,
-        label: &str,
+        label: impl Into<UserLabel>,
         op: MgmtOp,
     ) -> Result<PrivilegedOpOutcome, FlowError> {
+        let label: UserLabel = label.into();
+        let label = label.as_str();
         let mut trace = Vec::with_capacity(8);
         let _session = self.session_of(label)?;
 
@@ -351,7 +384,9 @@ impl Infrastructure {
             .tailnet
             .public_key_of(&node_name)
             .expect("node just enrolled");
-        let opened = self.mgmt_node.open_from(&sender_pub, &node_name, &nonce, &frame);
+        let opened = self
+            .mgmt_node
+            .open_from(&sender_pub, &node_name, &nonce, &frame);
         if opened.is_none() {
             return Err(FlowError::Tailnet(
                 dri_netsim::tailnet::TailnetError::DecryptFailed,
@@ -375,7 +410,10 @@ impl Infrastructure {
             result.detail.clone(),
             Severity::Info,
         );
-        Ok(PrivilegedOpOutcome { detail: result.detail, trace })
+        Ok(PrivilegedOpOutcome {
+            detail: result.detail,
+            trace,
+        })
     }
 
     /// **User story 6** — connect to a Jupyter notebook: edge → Zenith
@@ -383,10 +421,12 @@ impl Infrastructure {
     /// notebook spawned on a compute node.
     pub fn story6_jupyter(
         &self,
-        label: &str,
+        label: impl Into<UserLabel>,
         project_name: &str,
         source_ip: &str,
     ) -> Result<JupyterOutcome, FlowError> {
+        let label: UserLabel = label.into();
+        let label = label.as_str();
         let mut trace = Vec::with_capacity(8);
         let _ = self.session_of(label)?;
 
@@ -510,7 +550,7 @@ impl Infrastructure {
     }
 
     /// The live session id of a user, or `NotLoggedIn`.
-    pub fn session_of(&self, label: &str) -> Result<String, FlowError> {
+    pub fn session_of(&self, label: &str) -> Result<SessionId, FlowError> {
         let users = self.users.read();
         let user = users
             .get(label)
@@ -522,7 +562,7 @@ impl Infrastructure {
         // The session must still be live *and unexpired* at the broker —
         // an aged-out session means interactive re-authentication.
         match self.broker.session(&sid) {
-            Some(s) if self.clock.now_secs() < s.expires_at => Ok(sid),
+            Some(s) if self.clock.now_secs() < s.expires_at => Ok(sid.into()),
             _ => Err(FlowError::NotLoggedIn(label.to_string())),
         }
     }

@@ -19,12 +19,7 @@ pub fn seal(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> V
 
 /// Verify and decrypt `ciphertext ‖ tag`; `None` on any authentication
 /// failure (wrong key/nonce/aad, truncation, or tampering).
-pub fn open(
-    key: &[u8; 32],
-    nonce: &[u8; 12],
-    aad: &[u8],
-    sealed: &[u8],
-) -> Option<Vec<u8>> {
+pub fn open(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], sealed: &[u8]) -> Option<Vec<u8>> {
     if sealed.len() < 16 {
         return None;
     }

@@ -163,7 +163,10 @@ mod tests {
     #[test]
     fn rejects_bad_chars_and_lengths() {
         assert_eq!(decode_url("a"), Err(Base64Error::InvalidLength(1)));
-        assert!(matches!(decode_url("ab!c"), Err(Base64Error::InvalidChar('!'))));
+        assert!(matches!(
+            decode_url("ab!c"),
+            Err(Base64Error::InvalidChar('!'))
+        ));
     }
 
     #[test]

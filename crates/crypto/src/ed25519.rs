@@ -95,9 +95,7 @@ impl Scalar {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let v = (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + wide[i + j] as u128
-                    + carry;
+                let v = (self.0[i] as u128) * (rhs.0[j] as u128) + wide[i + j] as u128 + carry;
                 wide[i + j] = v as u64;
                 carry = v >> 64;
             }
@@ -195,7 +193,12 @@ pub struct Point {
 impl Point {
     /// The neutral element.
     pub fn identity() -> Point {
-        Point { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+        Point {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
     }
 
     /// The standard base point B (y = 4/5, x even... the RFC 8032 basepoint).
@@ -215,7 +218,12 @@ impl Point {
         ];
         let x = Fe(BX);
         let y = Fe(BY);
-        Point { x, y, z: Fe::ONE, t: x.mul(y) }
+        Point {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(y),
+        }
     }
 
     /// Unified point addition ("add-2008-hwcd-3" for a = −1 twisted
@@ -230,7 +238,12 @@ impl Point {
         let f = d.sub(c);
         let g = d.add(c);
         let h = b.add(a);
-        Point { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
     }
 
     /// Point doubling (dbl-2008-hwcd).
@@ -244,7 +257,12 @@ impl Point {
         let g = d.add(b);
         let f = g.sub(c);
         let h = d.sub(b);
-        Point { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
     }
 
     /// Variable-time scalar multiplication (MSB-first double-and-add).
@@ -283,7 +301,7 @@ impl Point {
     pub fn decompress(bytes: &[u8; 32]) -> Option<Point> {
         let sign = bytes[31] >> 7 == 1;
         let y = Fe::from_bytes(bytes); // masks the sign bit
-        // Canonicality: re-encoding must give the same y bits.
+                                       // Canonicality: re-encoding must give the same y bits.
         let mut y_bytes = y.to_bytes();
         y_bytes[31] |= (bytes[31] & 0x80) & 0x80;
         if y_bytes != *bytes {
@@ -312,14 +330,18 @@ impl Point {
         if x.is_negative() != sign {
             x = x.neg();
         }
-        Some(Point { x, y, z: Fe::ONE, t: x.mul(y) })
+        Some(Point {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(y),
+        })
     }
 
     /// Constant comparison in affine coordinates.
     pub fn equals(&self, other: &Point) -> bool {
         // x1 z2 == x2 z1 and y1 z2 == y2 z1
-        self.x.mul(other.z) == other.x.mul(self.z)
-            && self.y.mul(other.z) == other.y.mul(self.z)
+        self.x.mul(other.z) == other.x.mul(self.z) && self.y.mul(other.z) == other.y.mul(self.z)
     }
 
     /// Check the curve equation −x² + y² = 1 + d x² y² holds.
@@ -358,8 +380,15 @@ impl SigningKey {
         let mut prefix = [0u8; 32];
         prefix.copy_from_slice(&digest[32..]);
         let public_point = Point::base().mul_scalar(&a);
-        let public = VerifyingKey { bytes: public_point.compress() };
-        SigningKey { seed: *seed, a, prefix, public }
+        let public = VerifyingKey {
+            bytes: public_point.compress(),
+        };
+        SigningKey {
+            seed: *seed,
+            a,
+            prefix,
+            public,
+        }
     }
 
     /// The corresponding verifying (public) key.
@@ -397,7 +426,11 @@ impl SigningKey {
 impl std::fmt::Debug for SigningKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print the seed.
-        write!(f, "SigningKey(pub={})", crate::hex::encode(&self.public.bytes))
+        write!(
+            f,
+            "SigningKey(pub={})",
+            crate::hex::encode(&self.public.bytes)
+        )
     }
 }
 

@@ -347,7 +347,12 @@ mod tests {
 
     #[test]
     fn bytes_roundtrip() {
-        let a = Fe([0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210, 0xaaaa, 0x7000_0000_0000_0000]);
+        let a = Fe([
+            0x0123_4567_89ab_cdef,
+            0xfedc_ba98_7654_3210,
+            0xaaaa,
+            0x7000_0000_0000_0000,
+        ]);
         assert_eq!(Fe::from_bytes(&a.to_bytes()), a);
     }
 

@@ -39,7 +39,10 @@ fn val(c: u8) -> Option<u8> {
 pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], HexError> {
     let v = decode(s)?;
     if v.len() != N {
-        return Err(HexError::WrongLength { want: N, got: v.len() });
+        return Err(HexError::WrongLength {
+            want: N,
+            got: v.len(),
+        });
     }
     let mut out = [0u8; N];
     out.copy_from_slice(&v);

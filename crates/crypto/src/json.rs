@@ -110,7 +110,10 @@ impl Value {
 
     /// Parse a JSON string.
     pub fn parse(input: &str) -> Result<Value, JsonError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -313,7 +316,10 @@ impl<'a> Parser<'a> {
             self.pos += word.len();
             Ok(v)
         } else {
-            Err(JsonError::Unexpected(self.pos, self.bytes[self.pos] as char))
+            Err(JsonError::Unexpected(
+                self.pos,
+                self.bytes[self.pos] as char,
+            ))
         }
     }
 
@@ -352,8 +358,7 @@ impl<'a> Parser<'a> {
                                 if !(0xdc00..0xe000).contains(&lo) {
                                     return Err(JsonError::BadEscape(self.pos));
                                 }
-                                let combined =
-                                    0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                let combined = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
                                 char::from_u32(combined).ok_or(JsonError::BadUtf8)?
                             } else {
                                 char::from_u32(cp).ok_or(JsonError::BadUtf8)?
@@ -404,8 +409,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| JsonError::BadUtf8)?;
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError::BadUtf8)?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| JsonError::BadNumber(start))
@@ -422,7 +427,10 @@ mod tests {
             ("sub", Value::s("user@example.org")),
             ("exp", Value::u(1_699_999_999)),
             ("admin", Value::Bool(false)),
-            ("roles", Value::Arr(vec![Value::s("pi"), Value::s("researcher")])),
+            (
+                "roles",
+                Value::Arr(vec![Value::s("pi"), Value::s("researcher")]),
+            ),
             ("nested", Value::obj([("a", Value::Null)])),
         ]);
         let s = v.to_json();
@@ -465,10 +473,7 @@ mod tests {
     #[test]
     fn unicode_escapes_and_surrogates() {
         // é is é; the surrogate pair 😀 is 😀.
-        assert_eq!(
-            Value::parse("\"\\u00e9\"").unwrap(),
-            Value::Str("é".into())
-        );
+        assert_eq!(Value::parse("\"\\u00e9\"").unwrap(), Value::Str("é".into()));
         assert_eq!(
             Value::parse("\"\\ud83d\\ude00\"").unwrap(),
             Value::Str("😀".into())

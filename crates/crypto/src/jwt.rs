@@ -104,10 +104,12 @@ impl Claims {
 
     fn from_value(v: &Value) -> Result<Claims, JwtError> {
         let get_s = |k: &str| -> String {
-            v.get(k).and_then(Value::as_str).unwrap_or_default().to_string()
+            v.get(k)
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string()
         };
-        let get_u =
-            |k: &str| -> Option<u64> { v.get(k).and_then(Value::as_u64) };
+        let get_u = |k: &str| -> Option<u64> { v.get(k).and_then(Value::as_u64) };
         let roles = v
             .get("roles")
             .and_then(Value::as_arr)
@@ -220,8 +222,7 @@ pub fn verify(
         _ => return Err(JwtError::Malformed),
     };
     let header_bytes = decode_url(h).map_err(|_| JwtError::Malformed)?;
-    let header_json =
-        std::str::from_utf8(&header_bytes).map_err(|_| JwtError::Malformed)?;
+    let header_json = std::str::from_utf8(&header_bytes).map_err(|_| JwtError::Malformed)?;
     let header = Value::parse(header_json).map_err(|_| JwtError::Malformed)?;
     let alg = header.get("alg").and_then(Value::as_str).unwrap_or("");
     let expected_alg = match verifier {
@@ -252,8 +253,7 @@ pub fn verify(
     }
 
     let payload_bytes = decode_url(p).map_err(|_| JwtError::Malformed)?;
-    let payload_json =
-        std::str::from_utf8(&payload_bytes).map_err(|_| JwtError::Malformed)?;
+    let payload_json = std::str::from_utf8(&payload_bytes).map_err(|_| JwtError::Malformed)?;
     let payload = Value::parse(payload_json).map_err(|_| JwtError::Malformed)?;
     let claims = Claims::from_value(&payload)?;
 
@@ -324,7 +324,13 @@ mod tests {
     use super::*;
 
     fn sample_claims(now: u64) -> Claims {
-        let mut c = Claims::new("https://idbroker.fds.example", "wlcg-12345", "slurm", now, 900);
+        let mut c = Claims::new(
+            "https://idbroker.fds.example",
+            "wlcg-12345",
+            "slurm",
+            now,
+            900,
+        );
         c.token_id = "jti-1".into();
         c.session_id = "sess-1".into();
         c.acr = "mfa-totp".into();
@@ -341,12 +347,20 @@ mod tests {
         let got = verify(
             &token,
             &Verifier::Ed25519(&sk.verifying_key()),
-            &Validation { issuer: claims.issuer.clone(), audience: "slurm".into(), now: 1500, leeway: 0 },
+            &Validation {
+                issuer: claims.issuer.clone(),
+                audience: "slurm".into(),
+                now: 1500,
+                leeway: 0,
+            },
         )
         .unwrap();
         assert_eq!(got, claims);
         assert!(got.has_role("researcher"));
-        assert_eq!(got.extra_claim("project").and_then(Value::as_str), Some("brics-001"));
+        assert_eq!(
+            got.extra_claim("project").and_then(Value::as_str),
+            Some("brics-001")
+        );
         assert_eq!(peek_kid(&token).as_deref(), Some("fds-key-1"));
     }
 
@@ -357,7 +371,10 @@ mod tests {
         let got = verify(
             &token,
             &Verifier::Hmac(b"shared-secret"),
-            &Validation { now: 100, ..Default::default() },
+            &Validation {
+                now: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(got.subject, "wlcg-12345");
@@ -369,7 +386,10 @@ mod tests {
         let claims = sample_claims(1000); // valid [1000, 1900)
         let token = sign(&claims, &Signer::Ed25519(&sk), "k");
         let pk = sk.verifying_key();
-        let v = |now| Validation { now, ..Default::default() };
+        let v = |now| Validation {
+            now,
+            ..Default::default()
+        };
         assert_eq!(
             verify(&token, &Verifier::Ed25519(&pk), &v(999)),
             Err(JwtError::NotYetValid)
@@ -391,7 +411,11 @@ mod tests {
             verify(
                 &token,
                 &Verifier::Ed25519(&pk),
-                &Validation { audience: "jupyter".into(), now: 1, ..Default::default() }
+                &Validation {
+                    audience: "jupyter".into(),
+                    now: 1,
+                    ..Default::default()
+                }
             ),
             Err(JwtError::WrongAudience)
         );
@@ -399,7 +423,11 @@ mod tests {
             verify(
                 &token,
                 &Verifier::Ed25519(&pk),
-                &Validation { issuer: "rogue".into(), now: 1, ..Default::default() }
+                &Validation {
+                    issuer: "rogue".into(),
+                    now: 1,
+                    ..Default::default()
+                }
             ),
             Err(JwtError::WrongIssuer)
         );
@@ -419,7 +447,10 @@ mod tests {
             verify(
                 &forged,
                 &Verifier::Ed25519(&sk.verifying_key()),
-                &Validation { now: 1, ..Default::default() }
+                &Validation {
+                    now: 1,
+                    ..Default::default()
+                }
             ),
             Err(JwtError::BadSignature)
         );
@@ -430,12 +461,19 @@ mod tests {
         // An HS256 token must not verify against an Ed25519 verifier and
         // vice versa, even with "matching" key bytes.
         let sk = SigningKey::from_seed(&[5u8; 32]);
-        let hs = sign(&sample_claims(0), &Signer::Hmac(sk.verifying_key().as_bytes()), "k");
+        let hs = sign(
+            &sample_claims(0),
+            &Signer::Hmac(sk.verifying_key().as_bytes()),
+            "k",
+        );
         assert_eq!(
             verify(
                 &hs,
                 &Verifier::Ed25519(&sk.verifying_key()),
-                &Validation { now: 1, ..Default::default() }
+                &Validation {
+                    now: 1,
+                    ..Default::default()
+                }
             ),
             Err(JwtError::AlgorithmMismatch)
         );
@@ -443,7 +481,10 @@ mod tests {
 
     #[test]
     fn malformed_tokens_rejected() {
-        let v = Validation { now: 1, ..Default::default() };
+        let v = Validation {
+            now: 1,
+            ..Default::default()
+        };
         for bad in ["", "a.b", "a.b.c.d", "!!!.###.$$$", "aGk.aGk.aGk"] {
             assert!(verify(bad, &Verifier::Hmac(b"k"), &v).is_err(), "{bad}");
         }

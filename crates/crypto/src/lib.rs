@@ -29,8 +29,8 @@ pub mod hex;
 pub mod hkdf;
 pub mod hmac;
 pub mod json;
-pub mod poly1305;
 pub mod jwt;
+pub mod poly1305;
 pub mod sha2;
 pub mod x25519;
 

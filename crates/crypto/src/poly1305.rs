@@ -19,7 +19,13 @@ pub fn poly1305(key: &[u8; 32], msg: &[u8]) -> [u8; 16] {
     r[4] = (t3 >> 8) & 0x000f_ffff;
 
     let mut h = [0u64; 5];
-    let r64: [u64; 5] = [r[0] as u64, r[1] as u64, r[2] as u64, r[3] as u64, r[4] as u64];
+    let r64: [u64; 5] = [
+        r[0] as u64,
+        r[1] as u64,
+        r[2] as u64,
+        r[3] as u64,
+        r[4] as u64,
+    ];
     // Precomputed 5*r for the reduction.
     let s = [r64[1] * 5, r64[2] * 5, r64[3] * 5, r64[4] * 5];
 

@@ -52,10 +52,7 @@ impl Assertion {
                     self.attributes
                         .iter()
                         .map(|a| {
-                            Value::obj([
-                                ("n", Value::s(&*a.name)),
-                                ("v", Value::s(&*a.value)),
-                            ])
+                            Value::obj([("n", Value::s(&*a.name)), ("v", Value::s(&*a.value))])
                         })
                         .collect(),
                 ),
@@ -71,7 +68,9 @@ impl Assertion {
                 .ok_or(AssertionError::MissingField)
         };
         let u = |k: &str| -> Result<u64, AssertionError> {
-            v.get(k).and_then(Value::as_u64).ok_or(AssertionError::MissingField)
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or(AssertionError::MissingField)
         };
         let attrs = v
             .get("attrs")
@@ -79,10 +78,7 @@ impl Assertion {
             .map(|arr| {
                 arr.iter()
                     .filter_map(|a| {
-                        Some(Attribute::new(
-                            a.get("n")?.as_str()?,
-                            a.get("v")?.as_str()?,
-                        ))
+                        Some(Attribute::new(a.get("n")?.as_str()?, a.get("v")?.as_str()?))
                     })
                     .collect()
             })
@@ -120,10 +116,8 @@ impl Assertion {
         expected_audience: &str,
         now_secs: u64,
     ) -> Result<Assertion, AssertionError> {
-        let (payload_b64, sig_b64) =
-            wire.split_once('.').ok_or(AssertionError::Malformed)?;
-        let payload =
-            base64::decode_url(payload_b64).map_err(|_| AssertionError::Malformed)?;
+        let (payload_b64, sig_b64) = wire.split_once('.').ok_or(AssertionError::Malformed)?;
+        let payload = base64::decode_url(payload_b64).map_err(|_| AssertionError::Malformed)?;
         let sig = base64::decode_url(sig_b64).map_err(|_| AssertionError::Malformed)?;
         if sig.len() != 64 {
             return Err(AssertionError::BadSignature);
@@ -133,8 +127,7 @@ impl Assertion {
         if !issuer_key.verify(&payload, &sig64) {
             return Err(AssertionError::BadSignature);
         }
-        let text =
-            std::str::from_utf8(&payload).map_err(|_| AssertionError::Malformed)?;
+        let text = std::str::from_utf8(&payload).map_err(|_| AssertionError::Malformed)?;
         let value = Value::parse(text).map_err(|_| AssertionError::Malformed)?;
         let assertion = Assertion::from_value(&value)?;
         if assertion.audience != expected_audience {
@@ -233,7 +226,12 @@ mod tests {
         let other = SigningKey::from_seed(&[2u8; 32]);
         let wire = sample().sign(&key);
         assert_eq!(
-            Assertion::verify(&wire, &other.verifying_key(), "https://proxy.myaccessid.org", 1100),
+            Assertion::verify(
+                &wire,
+                &other.verifying_key(),
+                "https://proxy.myaccessid.org",
+                1100
+            ),
             Err(AssertionError::BadSignature)
         );
     }

@@ -205,7 +205,11 @@ impl IdentityProvider {
 
     /// Whether a username exists and is active.
     pub fn is_active(&self, username: &str) -> bool {
-        self.users.read().get(username).map(|u| u.active).unwrap_or(false)
+        self.users
+            .read()
+            .get(username)
+            .map(|u| u.active)
+            .unwrap_or(false)
     }
 
     /// Number of provisioned users.
@@ -239,7 +243,13 @@ mod tests {
             clock,
         );
         idp.provision_user("alice", "hunter2", "Alice A", "staff", None);
-        idp.provision_user("bob", "passw0rd", "Bob B", "member", Some(b"bobsecret".to_vec()));
+        idp.provision_user(
+            "bob",
+            "passw0rd",
+            "Bob B",
+            "member",
+            Some(b"bobsecret".to_vec()),
+        );
         idp
     }
 
@@ -283,7 +293,9 @@ mod tests {
             Err(AuthnError::BadSecondFactor)
         );
         // Right code.
-        let wire = idp.authenticate("bob", "passw0rd", Some(right), "aud").unwrap();
+        let wire = idp
+            .authenticate("bob", "passw0rd", Some(right), "aud")
+            .unwrap();
         let a = Assertion::verify(&wire, &idp.verifying_key(), "aud", 1).unwrap();
         assert_eq!(a.authn_context, "pwd+totp");
     }

@@ -94,7 +94,10 @@ impl FederationRegistry {
 
     /// Join a national federation to the inter-federation.
     pub fn register_federation(&self, name: impl Into<String>, operator: impl Into<String>) {
-        self.inner.write().federations.insert(name.into(), operator.into());
+        self.inner
+            .write()
+            .federations
+            .insert(name.into(), operator.into());
     }
 
     /// Register an entity under its home federation.
@@ -125,7 +128,11 @@ impl FederationRegistry {
 
     /// The verified signing key for an entity, if registered.
     pub fn signing_key(&self, entity_id: &str) -> Option<VerifyingKey> {
-        self.inner.read().entities.get(entity_id).map(|e| e.signing_key.clone())
+        self.inner
+            .read()
+            .entities
+            .get(entity_id)
+            .map(|e| e.signing_key.clone())
     }
 
     /// All IdPs carrying a category — the input to the discovery service.
@@ -172,7 +179,12 @@ mod tests {
     #[test]
     fn registration_requires_known_federation() {
         let reg = FederationRegistry::new();
-        let d = desc("https://idp.x", "ukamf", EntityKind::IdentityProvider, vec![]);
+        let d = desc(
+            "https://idp.x",
+            "ukamf",
+            EntityKind::IdentityProvider,
+            vec![],
+        );
         assert_eq!(
             reg.register_entity(d.clone()),
             Err(RegistryError::UnknownFederation("ukamf".into()))
@@ -219,8 +231,13 @@ mod tests {
     fn deregistration_removes_trust() {
         let reg = FederationRegistry::new();
         reg.register_federation("ukamf", "Jisc");
-        reg.register_entity(desc("https://idp.x", "ukamf", EntityKind::IdentityProvider, vec![]))
-            .unwrap();
+        reg.register_entity(desc(
+            "https://idp.x",
+            "ukamf",
+            EntityKind::IdentityProvider,
+            vec![],
+        ))
+        .unwrap();
         assert!(reg.signing_key("https://idp.x").is_some());
         reg.deregister_entity("https://idp.x").unwrap();
         assert!(reg.signing_key("https://idp.x").is_none());

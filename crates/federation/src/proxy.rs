@@ -177,9 +177,8 @@ impl IdpProxy {
             return Err(ProxyError::IdpNotEligible(idp_entity_id.to_string()));
         }
         let now = self.clock.now_secs();
-        let upstream =
-            Assertion::verify(upstream_wire, &idp.signing_key, &self.entity_id, now)
-                .map_err(ProxyError::BadAssertion)?;
+        let upstream = Assertion::verify(upstream_wire, &idp.signing_key, &self.entity_id, now)
+            .map_err(ProxyError::BadAssertion)?;
         if upstream.issuer != idp_entity_id {
             return Err(ProxyError::BadAssertion(AssertionError::BadSignature));
         }
@@ -327,12 +326,7 @@ mod tests {
                 signing_key: idp.verifying_key(),
             })
             .unwrap();
-        let proxy = IdpProxy::new(
-            "https://proxy.myaccessid.org",
-            [2u8; 32],
-            clock,
-            registry,
-        );
+        let proxy = IdpProxy::new("https://proxy.myaccessid.org", [2u8; 32], clock, registry);
         proxy.register_service("https://broker.isambard.ac.uk");
         Fixture { proxy, idp }
     }
@@ -390,7 +384,11 @@ mod tests {
             .unwrap();
         assert!(f
             .proxy
-            .broker_login("https://idp.bristol.ac.uk", &wire, "https://broker.isambard.ac.uk")
+            .broker_login(
+                "https://idp.bristol.ac.uk",
+                &wire,
+                "https://broker.isambard.ac.uk"
+            )
             .is_ok());
         assert_eq!(
             f.proxy.broker_login(
@@ -415,8 +413,11 @@ mod tests {
             Err(ProxyError::UnknownService(_))
         ));
         assert!(matches!(
-            f.proxy
-                .broker_login("https://idp.unknown.example", &wire, "https://broker.isambard.ac.uk"),
+            f.proxy.broker_login(
+                "https://idp.unknown.example",
+                &wire,
+                "https://broker.isambard.ac.uk"
+            ),
             Err(ProxyError::UnknownIdp(_))
         ));
     }
@@ -453,7 +454,8 @@ mod tests {
         assert_eq!(account.linked_identities.len(), 2);
         // Double-linking the same identity (even to the same account) fails.
         assert_eq!(
-            f.proxy.link_identity(&cuid, "https://idp.tartu.ee", "alice@ut.ee"),
+            f.proxy
+                .link_identity(&cuid, "https://idp.tartu.ee", "alice@ut.ee"),
             Err(ProxyError::Replay)
         );
     }
@@ -462,7 +464,10 @@ mod tests {
     fn loa_elevation_sticks() {
         let f = fixture();
         let (cuid, _) = login(&f);
-        assert_eq!(f.proxy.account(&cuid).unwrap().loa, LevelOfAssurance::Medium);
+        assert_eq!(
+            f.proxy.account(&cuid).unwrap().loa,
+            LevelOfAssurance::Medium
+        );
         f.proxy.elevate_loa(&cuid, LevelOfAssurance::High).unwrap();
         assert_eq!(f.proxy.account(&cuid).unwrap().loa, LevelOfAssurance::High);
         // A later Medium login does not downgrade.

@@ -72,7 +72,10 @@ pub struct Attribute {
 impl Attribute {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, value: impl Into<String>) -> Attribute {
-        Attribute { name: name.into(), value: value.into() }
+        Attribute {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 }
 

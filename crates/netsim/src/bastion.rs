@@ -238,7 +238,12 @@ impl Bastion {
 
     /// Number of healthy instances.
     pub fn healthy_instances(&self) -> usize {
-        self.state.read().instance_healthy.iter().filter(|h| **h).count()
+        self.state
+            .read()
+            .instance_healthy
+            .iter()
+            .filter(|h| **h)
+            .count()
     }
 }
 
@@ -275,7 +280,12 @@ mod tests {
         );
         let ca = SigningKey::from_seed(&[3u8; 32]);
         let bastion = Bastion::new("sws/bastion", 3, ca.verifying_key(), clock.clone());
-        Fixture { net, bastion, ca, clock }
+        Fixture {
+            net,
+            bastion,
+            ca,
+            clock,
+        }
     }
 
     fn cert(f: &Fixture, key_id: &str, principal: &str) -> SshCertificate {
@@ -312,12 +322,14 @@ mod tests {
         let f = fixture();
         let c = cert(&f, "maid-1", "u123");
         assert_eq!(
-            f.bastion.relay(&f.net, "internet/laptop", "mdc/login01", &c, "root"),
+            f.bastion
+                .relay(&f.net, "internet/laptop", "mdc/login01", &c, "root"),
             Err(BastionError::Cert(CertError::PrincipalNotAllowed))
         );
         f.clock.advance_secs(3601);
         assert_eq!(
-            f.bastion.relay(&f.net, "internet/laptop", "mdc/login01", &c, "u123"),
+            f.bastion
+                .relay(&f.net, "internet/laptop", "mdc/login01", &c, "u123"),
             Err(BastionError::Cert(CertError::Expired))
         );
     }
@@ -327,9 +339,11 @@ mod tests {
         let f = fixture();
         let c = cert(&f, "maid-1", "u123");
         // A target in a zone the bastion has no rule for.
-        f.net.add_host("mdc/mgmt01", Domain::Mdc, Zone::Management, &["ssh"]);
+        f.net
+            .add_host("mdc/mgmt01", Domain::Mdc, Zone::Management, &["ssh"]);
         assert_eq!(
-            f.bastion.relay(&f.net, "internet/laptop", "mdc/mgmt01", &c, "u123"),
+            f.bastion
+                .relay(&f.net, "internet/laptop", "mdc/mgmt01", &c, "u123"),
             Err(BastionError::Network(NetError::Denied))
         );
     }
@@ -354,7 +368,8 @@ mod tests {
         assert!(f.bastion.session_alive(&s2.id));
         // Blocked user can't reconnect.
         assert_eq!(
-            f.bastion.relay(&f.net, "internet/laptop", "mdc/login01", &c1, "u123"),
+            f.bastion
+                .relay(&f.net, "internet/laptop", "mdc/login01", &c1, "u123"),
             Err(BastionError::UserBlocked)
         );
         f.bastion.unblock_user("maid-1");
@@ -376,7 +391,8 @@ mod tests {
         assert_eq!(cut, 1);
         assert!(!f.bastion.session_alive(&s.id));
         assert_eq!(
-            f.bastion.relay(&f.net, "internet/laptop", "mdc/login01", &c, "u123"),
+            f.bastion
+                .relay(&f.net, "internet/laptop", "mdc/login01", &c, "u123"),
             Err(BastionError::Unavailable)
         );
         f.bastion.global_restore();
@@ -407,7 +423,8 @@ mod tests {
             f.bastion.drain_instance(i);
         }
         assert_eq!(
-            f.bastion.relay(&f.net, "internet/laptop", "mdc/login01", &c, "u123"),
+            f.bastion
+                .relay(&f.net, "internet/laptop", "mdc/login01", &c, "u123"),
             Err(BastionError::Unavailable)
         );
     }
@@ -430,7 +447,8 @@ mod tests {
         }
         .signed(&rogue);
         assert_eq!(
-            f.bastion.relay(&f.net, "internet/laptop", "mdc/login01", &c, "u123"),
+            f.bastion
+                .relay(&f.net, "internet/laptop", "mdc/login01", &c, "u123"),
             Err(BastionError::Cert(CertError::BadSignature))
         );
     }

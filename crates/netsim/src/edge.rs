@@ -6,12 +6,16 @@
 //! manual blocklist, and only clean requests are forwarded to the tunnel
 //! server.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use dri_clock::SimClock;
-use parking_lot::RwLock;
+use dri_sync::{ShardMap, ShardSet};
 
 use crate::tunnel::{HttpRequest, HttpResponse, TunnelError, TunnelServer};
+
+/// Shard count for the per-source rate windows and blocklists.
+const EDGE_SHARDS: usize = 16;
 
 /// Edge failures returned to the client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,24 +43,24 @@ impl std::fmt::Display for EdgeError {
 
 impl std::error::Error for EdgeError {}
 
-struct EdgeState {
-    /// Sliding-window request timestamps per source.
-    windows: HashMap<String, VecDeque<u64>>,
-    blocklist: HashSet<String>,
-    auto_blocked: HashSet<String>,
-    down: bool,
-    served: u64,
-    rejected: u64,
-}
-
 /// The edge proxy.
+///
+/// Rate windows and blocklists are sharded by source address, so a login
+/// storm arriving from many sources scores rates under many different
+/// locks; the served/rejected counters are atomics.
 pub struct EdgeProxy {
     clock: SimClock,
     /// Window length for rate scoring (ms).
     pub window_ms: u64,
     /// Requests per window per source before mitigation kicks in.
     pub threshold: usize,
-    state: RwLock<EdgeState>,
+    /// Sliding-window request timestamps per source.
+    windows: ShardMap<VecDeque<u64>>,
+    blocklist: ShardSet,
+    auto_blocked: ShardSet,
+    down: AtomicBool,
+    served: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl EdgeProxy {
@@ -67,14 +71,12 @@ impl EdgeProxy {
             clock,
             window_ms,
             threshold,
-            state: RwLock::new(EdgeState {
-                windows: HashMap::new(),
-                blocklist: HashSet::new(),
-                auto_blocked: HashSet::new(),
-                down: false,
-                served: 0,
-                rejected: 0,
-            }),
+            windows: ShardMap::new(EDGE_SHARDS),
+            blocklist: ShardSet::new(EDGE_SHARDS),
+            auto_blocked: ShardSet::new(EDGE_SHARDS),
+            down: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
     }
 
@@ -87,58 +89,64 @@ impl EdgeProxy {
         request: HttpRequest,
     ) -> Result<HttpResponse, EdgeError> {
         let now = self.clock.now_ms();
-        {
-            let mut state = self.state.write();
-            if state.down {
-                state.rejected += 1;
-                return Err(EdgeError::Down);
-            }
-            if state.blocklist.contains(source) || state.auto_blocked.contains(source) {
-                state.rejected += 1;
-                return Err(EdgeError::Blocked);
-            }
-            let window = state.windows.entry(source.to_string()).or_default();
-            while window.front().is_some_and(|t| now.saturating_sub(*t) > self.window_ms) {
+        if self.down.load(Ordering::Acquire) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(EdgeError::Down);
+        }
+        if self.blocklist.contains(source) || self.auto_blocked.contains(source) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(EdgeError::Blocked);
+        }
+        let over_rate = {
+            // Rate scoring holds only this source's shard lock.
+            let mut shard = self.windows.write_shard(source);
+            let window = shard.entry(source.to_string()).or_default();
+            while window
+                .front()
+                .is_some_and(|t| now.saturating_sub(*t) > self.window_ms)
+            {
                 window.pop_front();
             }
             window.push_back(now);
-            if window.len() > self.threshold {
-                // Automatic mitigation: block the source outright.
-                state.auto_blocked.insert(source.to_string());
-                state.rejected += 1;
-                return Err(EdgeError::RateLimited);
-            }
-            state.served += 1;
+            window.len() > self.threshold
+        };
+        if over_rate {
+            // Automatic mitigation: block the source outright.
+            self.auto_blocked.insert(source.to_string());
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(EdgeError::RateLimited);
         }
+        self.served.fetch_add(1, Ordering::Relaxed);
         origin.handle(request).map_err(EdgeError::Origin)
     }
 
     /// Manually block a source.
     pub fn block(&self, source: &str) {
-        self.state.write().blocklist.insert(source.to_string());
+        self.blocklist.insert(source.to_string());
     }
 
     /// Unblock a source (manual or automatic block).
     pub fn unblock(&self, source: &str) {
-        let mut state = self.state.write();
-        state.blocklist.remove(source);
-        state.auto_blocked.remove(source);
+        self.blocklist.remove(source);
+        self.auto_blocked.remove(source);
     }
 
     /// Maintenance kill switch.
     pub fn set_down(&self, down: bool) {
-        self.state.write().down = down;
+        self.down.store(down, Ordering::Release);
     }
 
     /// (served, rejected) counters.
     pub fn stats(&self) -> (u64, u64) {
-        let s = self.state.read();
-        (s.served, s.rejected)
+        (
+            self.served.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+        )
     }
 
     /// Sources currently auto-blocked by the rate scorer.
     pub fn auto_blocked_count(&self) -> usize {
-        self.state.read().auto_blocked.len()
+        self.auto_blocked.len()
     }
 }
 
@@ -170,7 +178,10 @@ mod tests {
                 "mdc/login01",
                 &pk,
                 "/jupyter",
-                Arc::new(|_| HttpResponse { status: 200, body: b"ok".to_vec() }),
+                Arc::new(|_| HttpResponse {
+                    status: 200,
+                    body: b"ok".to_vec(),
+                }),
             )
             .unwrap();
         let edge = EdgeProxy::new(clock.clone(), 1000, 10);
@@ -178,7 +189,11 @@ mod tests {
     }
 
     fn req() -> HttpRequest {
-        HttpRequest { path: "/jupyter".into(), headers: vec![], body: vec![] }
+        HttpRequest {
+            path: "/jupyter".into(),
+            headers: vec![],
+            body: vec![],
+        }
     }
 
     #[test]
@@ -204,7 +219,10 @@ mod tests {
         );
         // And the source stays blocked even after the window passes.
         clock.advance(10_000);
-        assert_eq!(edge.handle(&server, "203.0.113.9", req()), Err(EdgeError::Blocked));
+        assert_eq!(
+            edge.handle(&server, "203.0.113.9", req()),
+            Err(EdgeError::Blocked)
+        );
         assert_eq!(edge.auto_blocked_count(), 1);
         // Other sources are unaffected.
         assert!(edge.handle(&server, "198.51.100.7", req()).is_ok());
@@ -227,7 +245,10 @@ mod tests {
     fn manual_blocklist() {
         let (_clock, edge, server) = setup();
         edge.block("192.0.2.1");
-        assert_eq!(edge.handle(&server, "192.0.2.1", req()), Err(EdgeError::Blocked));
+        assert_eq!(
+            edge.handle(&server, "192.0.2.1", req()),
+            Err(EdgeError::Blocked)
+        );
         let (_, rejected) = edge.stats();
         assert_eq!(rejected, 1);
     }
@@ -236,7 +257,10 @@ mod tests {
     fn down_edge_rejects_everything() {
         let (_clock, edge, server) = setup();
         edge.set_down(true);
-        assert_eq!(edge.handle(&server, "198.51.100.7", req()), Err(EdgeError::Down));
+        assert_eq!(
+            edge.handle(&server, "198.51.100.7", req()),
+            Err(EdgeError::Down)
+        );
         edge.set_down(false);
         assert!(edge.handle(&server, "198.51.100.7", req()).is_ok());
     }

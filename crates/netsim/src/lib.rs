@@ -31,7 +31,5 @@ pub mod tunnel;
 pub use bastion::{Bastion, BastionError};
 pub use edge::{EdgeError, EdgeProxy};
 pub use tailnet::{Tailnet, TailnetError, TailnetNode};
-pub use topology::{
-    ConnEvent, Domain, Host, HostId, NetError, Network, Rule, Selector, Zone,
-};
+pub use topology::{ConnEvent, Domain, Host, HostId, NetError, Network, Rule, Selector, Zone};
 pub use tunnel::{HttpRequest, HttpResponse, TunnelError, TunnelServer};

@@ -23,6 +23,7 @@ use dri_crypto::aead;
 use dri_crypto::hkdf;
 use dri_crypto::jwt::JwtError;
 use dri_crypto::x25519;
+use dri_sync::Snapshot;
 use parking_lot::{Mutex, RwLock};
 
 /// A device participating in the tailnet (lives with its owner; the
@@ -40,7 +41,11 @@ impl TailnetNode {
     pub fn generate(name: impl Into<String>, rng: &mut SimRng) -> TailnetNode {
         let private = x25519::clamp(rng.seed32());
         let public = x25519::public_key(&private);
-        TailnetNode { name: name.into(), private, public }
+        TailnetNode {
+            name: name.into(),
+            private,
+            public,
+        }
     }
 
     fn session_key(&self, peer_public: &[u8; 32]) -> [u8; 32] {
@@ -70,7 +75,6 @@ impl TailnetNode {
         let key = self.session_key(sender_public);
         aead::open(&key, nonce12, sender_name.as_bytes(), frame)
     }
-
 }
 
 /// Tailnet failures.
@@ -125,7 +129,7 @@ pub struct Tailnet {
     /// Enrolment lease duration (seconds).
     pub lease_secs: u64,
     clock: SimClock,
-    jwks: RwLock<Jwks>,
+    jwks: Snapshot<Jwks>,
     nodes: RwLock<HashMap<String, Enrollment>>,
     acl: RwLock<Vec<(String, String)>>, // (from, to) node-name pairs; "*" wildcard
     down: RwLock<bool>,
@@ -140,7 +144,7 @@ impl Tailnet {
             required_role: "sysadmin".to_string(),
             lease_secs,
             clock,
-            jwks: RwLock::new(jwks),
+            jwks: Snapshot::new(jwks),
             nodes: RwLock::new(HashMap::new()),
             acl: RwLock::new(Vec::new()),
             down: RwLock::new(false),
@@ -148,9 +152,9 @@ impl Tailnet {
         }
     }
 
-    /// Refresh the JWKS snapshot.
+    /// Refresh the JWKS snapshot (key rotation).
     pub fn update_jwks(&self, jwks: Jwks) {
-        *self.jwks.write() = jwks;
+        self.jwks.store(jwks);
     }
 
     /// Permit `from` to reach `to` (`"*"` is a wildcard).
@@ -163,7 +167,7 @@ impl Tailnet {
         let now = self.clock.now_secs();
         let claims = self
             .jwks
-            .read()
+            .load()
             .validate(token, &self.audience, now)
             .map_err(TailnetError::BadToken)?;
         if !claims.has_role(&self.required_role) {
@@ -325,16 +329,27 @@ mod tests {
         broker.register_service(TokenPolicy::admin("mgmt-tailnet", 600));
         let session = broker
             .login_managed(
-                &ManagedLogin { subject: "admin:dave".into(), acr: "mfa-hw".into() },
+                &ManagedLogin {
+                    subject: "admin:dave".into(),
+                    acr: "mfa-hw".into(),
+                },
                 IdentitySource::AdminIdp,
             )
             .unwrap();
         let tailnet = Tailnet::new(broker.jwks(), 4 * 3600, clock.clone());
-        Fixture { tailnet, broker, clock, admin_session: session.session_id }
+        Fixture {
+            tailnet,
+            broker,
+            clock,
+            admin_session: session.session_id,
+        }
     }
 
     fn admin_token(f: &Fixture) -> String {
-        f.broker.issue_token(&f.admin_session, "mgmt-tailnet").unwrap().0
+        f.broker
+            .issue_token(&f.admin_session, "mgmt-tailnet")
+            .unwrap()
+            .0
     }
 
     #[test]
@@ -348,7 +363,10 @@ mod tests {
         ));
         let lease = f.tailnet.enroll(&laptop, &admin_token(&f)).unwrap();
         assert!(lease > f.clock.now_secs());
-        assert_eq!(f.tailnet.node_subject("dave-laptop").as_deref(), Some("admin:dave"));
+        assert_eq!(
+            f.tailnet.node_subject("dave-laptop").as_deref(),
+            Some("admin:dave")
+        );
     }
 
     #[test]
@@ -369,17 +387,25 @@ mod tests {
         assert!(!frame.windows(7).any(|w| w == b"restart"));
         // The peer opens it with the sender's registered public key.
         let sender_pub = f.tailnet.public_key_of("dave-laptop").unwrap();
-        let opened = mgmt.open_from(&sender_pub, "dave-laptop", &nonce, &frame).unwrap();
+        let opened = mgmt
+            .open_from(&sender_pub, "dave-laptop", &nonce, &frame)
+            .unwrap();
         assert_eq!(opened, b"systemctl restart slurmctld");
         // Tampering is detected.
         let mut bad = frame.clone();
         bad[0] ^= 1;
-        assert!(mgmt.open_from(&sender_pub, "dave-laptop", &nonce, &bad).is_none());
+        assert!(mgmt
+            .open_from(&sender_pub, "dave-laptop", &nonce, &bad)
+            .is_none());
         // A different node cannot open it.
         let eve = TailnetNode::generate("eve", &mut rng);
-        assert!(eve.open_from(&sender_pub, "dave-laptop", &nonce, &frame).is_none());
+        assert!(eve
+            .open_from(&sender_pub, "dave-laptop", &nonce, &frame)
+            .is_none());
         // Claiming a different sender name also fails (AAD binding).
-        assert!(mgmt.open_from(&sender_pub, "impostor", &nonce, &frame).is_none());
+        assert!(mgmt
+            .open_from(&sender_pub, "impostor", &nonce, &frame)
+            .is_none());
     }
 
     #[test]
@@ -417,11 +443,17 @@ mod tests {
         let session = f
             .broker
             .login_managed(
-                &ManagedLogin { subject: "admin:dave".into(), acr: "mfa-hw".into() },
+                &ManagedLogin {
+                    subject: "admin:dave".into(),
+                    acr: "mfa-hw".into(),
+                },
                 IdentitySource::AdminIdp,
             )
             .unwrap();
-        let (tok, _) = f.broker.issue_token(&session.session_id, "mgmt-tailnet").unwrap();
+        let (tok, _) = f
+            .broker
+            .issue_token(&session.session_id, "mgmt-tailnet")
+            .unwrap();
         f.tailnet.enroll(&laptop, &tok).unwrap();
         assert!(f.tailnet.send(&laptop, "mdc-mgmt01", b"x").is_ok());
     }

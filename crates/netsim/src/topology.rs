@@ -189,7 +189,10 @@ pub struct Network {
 impl Network {
     /// An empty fabric (default deny everything).
     pub fn new(clock: SimClock) -> Network {
-        Network { clock, state: RwLock::new(NetState::default()) }
+        Network {
+            clock,
+            state: RwLock::new(NetState::default()),
+        }
     }
 
     /// Add a host.
@@ -321,7 +324,12 @@ mod tests {
         let net = Network::new(SimClock::new());
         net.add_host("internet/laptop", Domain::Internet, Zone::Public, &[]);
         net.add_host("sws/bastion", Domain::Sws, Zone::Access, &["ssh"]);
-        net.add_host("mdc/login01", Domain::Mdc, Zone::Hpc, &["ssh", "jupyter-auth"]);
+        net.add_host(
+            "mdc/login01",
+            Domain::Mdc,
+            Zone::Hpc,
+            &["ssh", "jupyter-auth"],
+        );
         net.add_host("mdc/mgmt01", Domain::Mdc, Zone::Management, &["admin-api"]);
         net.add_host("fds/broker", Domain::Fds, Zone::Access, &["https"]);
         net.allow(

@@ -71,7 +71,11 @@ impl HttpRequest {
             return None;
         }
         let body = rest[pos + 1..].to_vec();
-        Some(HttpRequest { path, headers, body })
+        Some(HttpRequest {
+            path,
+            headers,
+            body,
+        })
     }
 }
 
@@ -222,11 +226,19 @@ impl TunnelServer {
         let resp_plain = aead::open(&key, &resp_nonce, b"zenith-resp", &resp_frame)
             .ok_or(TunnelError::DecryptFailed)?;
 
-        if let Some(route) = self.routes.write().values_mut().find(|r| r.session_key == key) {
+        if let Some(route) = self
+            .routes
+            .write()
+            .values_mut()
+            .find(|r| r.session_key == key)
+        {
             route.requests_served += 1;
         }
         let _ = self.clock.now_ms();
-        Ok(HttpResponse { status: response.status, body: resp_plain })
+        Ok(HttpResponse {
+            status: response.status,
+            body: resp_plain,
+        })
     }
 
     /// Kill switch: close one tunnel.
@@ -259,7 +271,11 @@ impl TunnelServer {
 
     /// Requests served through a path so far.
     pub fn requests_served(&self, path: &str) -> u64 {
-        self.routes.read().get(path).map(|r| r.requests_served).unwrap_or(0)
+        self.routes
+            .read()
+            .get(path)
+            .map(|r| r.requests_served)
+            .unwrap_or(0)
     }
 
     /// Which MDC host terminates a path.
@@ -276,7 +292,12 @@ mod tests {
     fn fabric(clock: &SimClock) -> Network {
         let net = Network::new(clock.clone());
         net.add_host("mdc/login01", Domain::Mdc, Zone::Hpc, &["jupyter-auth"]);
-        net.add_host("fds/zenith", Domain::Fds, Zone::Access, &["zenith", "https"]);
+        net.add_host(
+            "fds/zenith",
+            Domain::Fds,
+            Zone::Access,
+            &["zenith", "https"],
+        );
         net.allow(
             "mdc outbound zenith",
             Selector::DomainZone(Domain::Mdc, Zone::Hpc),
@@ -301,7 +322,13 @@ mod tests {
         let server = TunnelServer::new("fds/zenith", &mut rng, clock.clone());
         let client_private = x25519::clamp(rng.seed32());
         server
-            .register_tunnel(&net, "mdc/login01", &client_private, "/jupyter", backend_echo())
+            .register_tunnel(
+                &net,
+                "mdc/login01",
+                &client_private,
+                "/jupyter",
+                backend_echo(),
+            )
             .unwrap();
 
         let resp = server
@@ -314,7 +341,10 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"served /jupyter/lab");
         assert_eq!(server.requests_served("/jupyter"), 1);
-        assert_eq!(server.client_host("/jupyter").as_deref(), Some("mdc/login01"));
+        assert_eq!(
+            server.client_host("/jupyter").as_deref(),
+            Some("mdc/login01")
+        );
     }
 
     #[test]
@@ -338,7 +368,11 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(3);
         let server = TunnelServer::new("fds/zenith", &mut rng, clock.clone());
         assert_eq!(
-            server.handle(HttpRequest { path: "/nope".into(), headers: vec![], body: vec![] }),
+            server.handle(HttpRequest {
+                path: "/nope".into(),
+                headers: vec![],
+                body: vec![]
+            }),
             Err(TunnelError::NoRoute("/nope".into()))
         );
     }
@@ -355,12 +389,20 @@ mod tests {
             .unwrap();
         assert!(server.close_tunnel("/jupyter"));
         assert_eq!(
-            server.handle(HttpRequest { path: "/jupyter".into(), headers: vec![], body: vec![] }),
+            server.handle(HttpRequest {
+                path: "/jupyter".into(),
+                headers: vec![],
+                body: vec![]
+            }),
             Err(TunnelError::Closed)
         );
         server.reopen_tunnel("/jupyter");
         assert!(server
-            .handle(HttpRequest { path: "/jupyter".into(), headers: vec![], body: vec![] })
+            .handle(HttpRequest {
+                path: "/jupyter".into(),
+                headers: vec![],
+                body: vec![]
+            })
             .is_ok());
         // close_all counts open tunnels.
         assert_eq!(server.close_all(), 1);
@@ -374,10 +416,14 @@ mod tests {
         let server = TunnelServer::new("fds/zenith", &mut rng, clock);
         let pk1 = x25519::clamp(rng.seed32());
         let pk2 = x25519::clamp(rng.seed32());
-        let backend_a: Backend =
-            Arc::new(|_| HttpResponse { status: 200, body: b"A".to_vec() });
-        let backend_b: Backend =
-            Arc::new(|_| HttpResponse { status: 200, body: b"B".to_vec() });
+        let backend_a: Backend = Arc::new(|_| HttpResponse {
+            status: 200,
+            body: b"A".to_vec(),
+        });
+        let backend_b: Backend = Arc::new(|_| HttpResponse {
+            status: 200,
+            body: b"B".to_vec(),
+        });
         server
             .register_tunnel(&net, "mdc/login01", &pk1, "/app", backend_a)
             .unwrap();
@@ -386,14 +432,22 @@ mod tests {
             .unwrap();
         assert_eq!(
             server
-                .handle(HttpRequest { path: "/app/deep/page".into(), headers: vec![], body: vec![] })
+                .handle(HttpRequest {
+                    path: "/app/deep/page".into(),
+                    headers: vec![],
+                    body: vec![]
+                })
                 .unwrap()
                 .body,
             b"B"
         );
         assert_eq!(
             server
-                .handle(HttpRequest { path: "/app/other".into(), headers: vec![], body: vec![] })
+                .handle(HttpRequest {
+                    path: "/app/other".into(),
+                    headers: vec![],
+                    body: vec![]
+                })
                 .unwrap()
                 .body,
             b"A"

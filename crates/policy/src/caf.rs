@@ -227,7 +227,10 @@ impl CafAssessment {
             CafPrinciple {
                 id: "C2",
                 title: "Proactive security event discovery",
-                achieved: tri(ev.detection_rules_active >= 3, ev.detection_rules_active > 0),
+                achieved: tri(
+                    ev.detection_rules_active >= 3,
+                    ev.detection_rules_active > 0,
+                ),
                 baseline_expectation: PartiallyAchieved,
                 evidence: format!("{} detection rules", ev.detection_rules_active),
             },
@@ -258,7 +261,10 @@ impl CafAssessment {
     /// Principles meeting the baseline / total.
     pub fn baseline_score(&self) -> (usize, usize) {
         (
-            self.principles.iter().filter(|p| p.meets_baseline()).count(),
+            self.principles
+                .iter()
+                .filter(|p| p.meets_baseline())
+                .count(),
             self.principles.len(),
         )
     }
@@ -270,7 +276,10 @@ impl CafAssessment {
 
     /// Principles below baseline.
     pub fn gaps(&self) -> Vec<&CafPrinciple> {
-        self.principles.iter().filter(|p| !p.meets_baseline()).collect()
+        self.principles
+            .iter()
+            .filter(|p| !p.meets_baseline())
+            .collect()
     }
 }
 

@@ -82,8 +82,7 @@ impl TenetAudit {
             TenetResult {
                 tenet: 1,
                 statement: "all data sources and computing services are resources",
-                passed: ev.services_total > 0
-                    && ev.services_with_policy == ev.services_total,
+                passed: ev.services_total > 0 && ev.services_with_policy == ev.services_total,
                 evidence: format!(
                     "{}/{} services under token policy",
                     ev.services_with_policy, ev.services_total
@@ -92,8 +91,7 @@ impl TenetAudit {
             TenetResult {
                 tenet: 2,
                 statement: "all communication secured regardless of network location",
-                passed: ev.channels_total > 0
-                    && ev.channels_encrypted == ev.channels_total,
+                passed: ev.channels_total > 0 && ev.channels_encrypted == ev.channels_total,
                 evidence: format!(
                     "{}/{} channels encrypted+authenticated",
                     ev.channels_encrypted, ev.channels_total

@@ -23,12 +23,20 @@ pub struct DevicePosture {
 impl DevicePosture {
     /// A healthy managed device.
     pub fn healthy() -> DevicePosture {
-        DevicePosture { managed: true, patched: true, compromised: false }
+        DevicePosture {
+            managed: true,
+            patched: true,
+            compromised: false,
+        }
     }
 
     /// An unknown, unmanaged device (typical BYOD laptop).
     pub fn unknown() -> DevicePosture {
-        DevicePosture { managed: false, patched: false, compromised: false }
+        DevicePosture {
+            managed: false,
+            patched: false,
+            compromised: false,
+        }
     }
 }
 
@@ -185,20 +193,22 @@ impl PolicyDecisionPoint {
         reasons.push(format!("source {:?} -> {source:.2}", req.source));
 
         // Freshness decays linearly over the session lifetime.
-        let freshness = 1.0
-            - (req.session_age_secs as f64 / self.max_session_age_secs as f64) * 0.5;
+        let freshness =
+            1.0 - (req.session_age_secs as f64 / self.max_session_age_secs as f64) * 0.5;
         reasons.push(format!(
             "session age {}s -> freshness {freshness:.2}",
             req.session_age_secs
         ));
 
-        let score = 0.30 * identity
-            + 0.25 * authn
-            + 0.15 * device
-            + 0.15 * source
-            + 0.15 * freshness;
+        let score =
+            0.30 * identity + 0.25 * authn + 0.15 * device + 0.15 * source + 0.15 * freshness;
         let threshold = self.threshold(req.sensitivity);
-        AccessDecision { allow: score >= threshold, score, threshold, reasons }
+        AccessDecision {
+            allow: score >= threshold,
+            score,
+            threshold,
+            reasons,
+        }
     }
 
     fn threshold(&self, sensitivity: Sensitivity) -> f64 {

@@ -459,14 +459,25 @@ mod tests {
         let (portal, clock) = portal();
         let now = clock.now_secs();
         let (_, invite) = portal
-            .create_project("admin:ops", "p", Allocation::gpu(1.0), now, now + 100, "a@b")
+            .create_project(
+                "admin:ops",
+                "p",
+                Allocation::gpu(1.0),
+                now,
+                now + 100,
+                "a@b",
+            )
             .unwrap();
         assert_eq!(
-            portal.accept_invitation(&invite.token, "maid-1", false).unwrap_err(),
+            portal
+                .accept_invitation(&invite.token, "maid-1", false)
+                .unwrap_err(),
             PortalError::Invitation(InvitationError::TermsNotAccepted)
         );
         // The invitation is still claimable afterwards.
-        assert!(portal.accept_invitation(&invite.token, "maid-1", true).is_ok());
+        assert!(portal
+            .accept_invitation(&invite.token, "maid-1", true)
+            .is_ok());
     }
 
     #[test]
@@ -474,15 +485,28 @@ mod tests {
         let (portal, clock) = portal();
         let now = clock.now_secs();
         let (_, invite) = portal
-            .create_project("admin:ops", "p", Allocation::gpu(1.0), now, now + 10_000_000, "a@b")
+            .create_project(
+                "admin:ops",
+                "p",
+                Allocation::gpu(1.0),
+                now,
+                now + 10_000_000,
+                "a@b",
+            )
             .unwrap();
-        portal.accept_invitation(&invite.token, "maid-1", true).unwrap();
+        portal
+            .accept_invitation(&invite.token, "maid-1", true)
+            .unwrap();
         assert_eq!(
-            portal.accept_invitation(&invite.token, "maid-2", true).unwrap_err(),
+            portal
+                .accept_invitation(&invite.token, "maid-2", true)
+                .unwrap_err(),
             PortalError::Invitation(InvitationError::AlreadyUsed)
         );
         assert_eq!(
-            portal.accept_invitation("inv-nope", "maid-2", true).unwrap_err(),
+            portal
+                .accept_invitation("inv-nope", "maid-2", true)
+                .unwrap_err(),
             PortalError::Invitation(InvitationError::Unknown)
         );
 
@@ -492,7 +516,9 @@ mod tests {
             .unwrap();
         clock.advance_secs(INVITATION_TTL_SECS + 1);
         assert_eq!(
-            portal.accept_invitation(&inv.token, "maid-3", true).unwrap_err(),
+            portal
+                .accept_invitation(&inv.token, "maid-3", true)
+                .unwrap_err(),
             PortalError::Invitation(InvitationError::Expired)
         );
     }
@@ -502,7 +528,9 @@ mod tests {
         let (portal, clock) = portal();
         let (project_id, pi) = onboard_pi(&portal, &clock);
         let inv = portal.invite_researcher(&pi, &project_id, "r@uni").unwrap();
-        portal.accept_invitation(&inv.token, "maid-000002", true).unwrap();
+        portal
+            .accept_invitation(&inv.token, "maid-000002", true)
+            .unwrap();
         // The researcher tries to invite someone else.
         assert_eq!(
             portal
@@ -512,7 +540,9 @@ mod tests {
         );
         // And a complete stranger cannot either.
         assert_eq!(
-            portal.invite_researcher("maid-999", &project_id, "x@y").unwrap_err(),
+            portal
+                .invite_researcher("maid-999", &project_id, "x@y")
+                .unwrap_err(),
             PortalError::Forbidden
         );
     }
@@ -522,14 +552,23 @@ mod tests {
         let (portal, clock) = portal();
         let (project_id, pi) = onboard_pi(&portal, &clock);
         let inv = portal.invite_researcher(&pi, &project_id, "r@uni").unwrap();
-        portal.accept_invitation(&inv.token, "maid-000002", true).unwrap();
-        assert_eq!(portal.roles_for("maid-000002", "jupyter"), vec!["researcher"]);
-        portal.remove_member(&pi, &project_id, "maid-000002").unwrap();
+        portal
+            .accept_invitation(&inv.token, "maid-000002", true)
+            .unwrap();
+        assert_eq!(
+            portal.roles_for("maid-000002", "jupyter"),
+            vec!["researcher"]
+        );
+        portal
+            .remove_member(&pi, &project_id, "maid-000002")
+            .unwrap();
         assert!(portal.roles_for("maid-000002", "jupyter").is_empty());
         assert!(!portal.is_authorized_subject("maid-000002"));
         // Removing twice errors.
         assert_eq!(
-            portal.remove_member(&pi, &project_id, "maid-000002").unwrap_err(),
+            portal
+                .remove_member(&pi, &project_id, "maid-000002")
+                .unwrap_err(),
             PortalError::UnknownMember
         );
     }
@@ -573,13 +612,29 @@ mod tests {
         let (p1, pi) = onboard_pi(&portal, &clock);
         let now = clock.now_secs();
         let (_p2, invite2) = portal
-            .create_project("admin:ops", "genomics", Allocation::gpu(10.0), now, now + 1000, "pi@uni.example")
+            .create_project(
+                "admin:ops",
+                "genomics",
+                Allocation::gpu(10.0),
+                now,
+                now + 1000,
+                "pi@uni.example",
+            )
             .unwrap();
         portal.accept_invitation(&invite2.token, &pi, true).unwrap();
         let accounts = portal.unix_accounts(&pi);
         assert_eq!(accounts.len(), 2);
-        assert_ne!(accounts[0].1, accounts[1].1, "same user, different unix accounts");
-        let p1_account = portal.project(&p1).unwrap().member(&pi).unwrap().unix_account.clone();
+        assert_ne!(
+            accounts[0].1, accounts[1].1,
+            "same user, different unix accounts"
+        );
+        let p1_account = portal
+            .project(&p1)
+            .unwrap()
+            .member(&pi)
+            .unwrap()
+            .unix_account
+            .clone();
         assert!(accounts.iter().any(|(_, a)| *a == p1_account));
     }
 
@@ -587,7 +642,10 @@ mod tests {
     fn admin_grants_flow_through_roles() {
         let (portal, _clock) = portal();
         portal.grant_admin("admin:dave", "mgmt-tailnet", &["sysadmin"]);
-        assert_eq!(portal.roles_for("admin:dave", "mgmt-tailnet"), vec!["sysadmin"]);
+        assert_eq!(
+            portal.roles_for("admin:dave", "mgmt-tailnet"),
+            vec!["sysadmin"]
+        );
         assert!(portal.is_authorized_subject("admin:dave"));
         portal.revoke_admin("admin:dave", "mgmt-tailnet");
         assert!(portal.roles_for("admin:dave", "mgmt-tailnet").is_empty());

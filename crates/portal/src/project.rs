@@ -68,7 +68,11 @@ pub struct Allocation {
 impl Allocation {
     /// An allocation with only GPU hours (typical Isambard-AI project).
     pub fn gpu(gpu_hours: f64) -> Allocation {
-        Allocation { gpu_hours, cpu_hours: 0.0, storage_gib: 100.0 }
+        Allocation {
+            gpu_hours,
+            cpu_hours: 0.0,
+            storage_gib: 100.0,
+        }
     }
 }
 

@@ -28,7 +28,12 @@ pub struct AnomalyConfig {
 
 impl Default for AnomalyConfig {
     fn default() -> Self {
-        AnomalyConfig { bucket_ms: 60_000, history: 30, z_threshold: 4.0, min_history: 5 }
+        AnomalyConfig {
+            bucket_ms: 60_000,
+            history: 30,
+            z_threshold: 4.0,
+            min_history: 5,
+        }
     }
 }
 
@@ -66,7 +71,10 @@ pub struct AnomalyDetector {
 impl AnomalyDetector {
     /// Create a detector.
     pub fn new(config: AnomalyConfig) -> AnomalyDetector {
-        AnomalyDetector { config, state: RwLock::new(HashMap::new()) }
+        AnomalyDetector {
+            config,
+            state: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Record one event from `source` at `at_ms`; returns an anomaly if

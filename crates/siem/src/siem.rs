@@ -1,8 +1,17 @@
 //! The SIEM: ingestion, windowed detection rules, alerting and
 //! kill-switch recommendations.
+//!
+//! Ingestion is a bounded MPSC channel: producers on the login hot path
+//! call [`Siem::enqueue`], which is fire-and-forget (a `try_send`, no
+//! detection work, no state lock). Queued events are drained in batches
+//! — one state-lock acquisition per batch instead of per event — either
+//! lazily by any accessor ([`Siem::alerts`], [`Siem::event_count`], …)
+//! or explicitly via [`Siem::flush`], so every read still observes
+//! exactly the events enqueued before it.
 
 use std::collections::{HashMap, VecDeque};
 
+use crossbeam::channel::{self, TrySendError};
 use dri_clock::{IdGen, SimClock};
 use parking_lot::RwLock;
 
@@ -10,6 +19,15 @@ use crate::events::{EventKind, SecurityEvent, Severity};
 
 /// Callback notified for every raised alert (the external 24/7 monitor).
 pub type AlertSink = Box<dyn Fn(&Alert) + Send + Sync>;
+
+/// Callback invoked for every drained event (e.g. the rate-anomaly
+/// detector taps the stream at batch-drain time).
+pub type IngestTap = Box<dyn Fn(&SecurityEvent) + Send + Sync>;
+
+/// Capacity of the bounded ingest queue. A full queue makes the
+/// enqueuing thread drain a batch itself (backpressure by work
+/// stealing), so events are never dropped.
+const INGEST_QUEUE_CAP: usize = 4096;
 
 /// Detection thresholds (all sliding windows in milliseconds).
 #[derive(Debug, Clone)]
@@ -87,17 +105,25 @@ pub struct Siem {
     state: RwLock<SiemState>,
     /// External 24/7 monitor (NCC-style) notification hook.
     external_monitor: RwLock<Vec<AlertSink>>,
+    /// Per-event observers run at batch-drain time.
+    taps: RwLock<Vec<IngestTap>>,
+    ingest_tx: channel::Sender<SecurityEvent>,
+    ingest_rx: channel::Receiver<SecurityEvent>,
     ids: IdGen,
 }
 
 impl Siem {
     /// Create a SIEM with the given detection thresholds.
     pub fn new(clock: SimClock, config: DetectionConfig) -> Siem {
+        let (ingest_tx, ingest_rx) = channel::bounded(INGEST_QUEUE_CAP);
         Siem {
             clock,
             config,
             state: RwLock::new(SiemState::default()),
             external_monitor: RwLock::new(Vec::new()),
+            taps: RwLock::new(Vec::new()),
+            ingest_tx,
+            ingest_rx,
             ids: IdGen::new("alert"),
         }
     }
@@ -107,12 +133,84 @@ impl Siem {
         self.external_monitor.write().push(callback);
     }
 
-    /// Ingest a batch of events, running detection on each.
+    /// Register a per-event observer invoked at batch-drain time (e.g.
+    /// the rate-anomaly detector).
+    pub fn register_tap(&self, tap: IngestTap) {
+        self.taps.write().push(tap);
+    }
+
+    /// Fire-and-forget ingestion: queue the event on the bounded channel
+    /// and return immediately — no detection work, no state lock. If the
+    /// queue is full, the caller drains a batch itself (backpressure by
+    /// work stealing) and retries; events are never dropped.
+    pub fn enqueue(&self, event: SecurityEvent) {
+        let mut event = event;
+        loop {
+            match self.ingest_tx.try_send(event) {
+                Ok(()) => return,
+                Err(TrySendError::Full(back)) => {
+                    self.flush();
+                    event = back;
+                }
+                Err(TrySendError::Disconnected(back)) => {
+                    // The receiver lives as long as the SIEM; process
+                    // inline if it is somehow gone.
+                    self.process_batch(vec![back]);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drain everything queued and run detection, merging the batch into
+    /// state under a single lock acquisition. Returns alerts raised by
+    /// the drained events.
+    pub fn flush(&self) -> Vec<Alert> {
+        let mut batch: Vec<SecurityEvent> = self.ingest_rx.try_iter().collect();
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        // Merge concurrent producers into timeline order; the sort is
+        // stable, so same-timestamp events keep their queue order.
+        batch.sort_by_key(|e| e.at_ms);
+        self.process_batch(batch)
+    }
+
+    /// Number of events waiting in the ingest queue.
+    pub fn pending(&self) -> usize {
+        self.ingest_rx.len()
+    }
+
+    /// Ingest a batch of events synchronously, running detection on
+    /// each. Queued events are drained first so the timeline stays in
+    /// order; the returned alerts are those raised by `events`.
     pub fn ingest(&self, events: Vec<SecurityEvent>) -> Vec<Alert> {
+        self.flush();
+        self.process_batch(events)
+    }
+
+    fn process_batch(&self, events: Vec<SecurityEvent>) -> Vec<Alert> {
+        if events.is_empty() {
+            return Vec::new();
+        }
         let mut new_alerts = Vec::new();
-        for event in events {
-            if let Some(alert) = self.process(&event) {
-                new_alerts.push(alert);
+        {
+            // One lock acquisition for the whole batch.
+            let mut state = self.state.write();
+            for event in &events {
+                if let Some(alert) = self.process(&mut state, event) {
+                    new_alerts.push(alert);
+                }
+            }
+        }
+        {
+            let taps = self.taps.read();
+            if !taps.is_empty() {
+                for event in &events {
+                    for tap in taps.iter() {
+                        tap(event);
+                    }
+                }
             }
         }
         if !new_alerts.is_empty() {
@@ -126,7 +224,7 @@ impl Siem {
         new_alerts
     }
 
-    fn process(&self, event: &SecurityEvent) -> Option<Alert> {
+    fn process(&self, state: &mut SiemState, event: &SecurityEvent) -> Option<Alert> {
         let (rule, key, threshold, window_ms, severity, recommendation): (
             &'static str,
             String,
@@ -168,19 +266,16 @@ impl Siem {
                 "notify-user",
             ),
             _ => {
-                self.record(event.clone());
+                state.events.push(event.clone());
+                state.events_ingested += 1;
                 return None;
             }
         };
 
-        let mut state = self.state.write();
         state.events.push(event.clone());
         state.events_ingested += 1;
 
-        let win = state
-            .windows
-            .entry((rule, key.clone()))
-            .or_default();
+        let win = state.windows.entry((rule, key.clone())).or_default();
         while win
             .front()
             .is_some_and(|t| event.at_ms.saturating_sub(*t) > window_ms)
@@ -212,24 +307,22 @@ impl Siem {
         Some(alert)
     }
 
-    fn record(&self, event: SecurityEvent) {
-        let mut state = self.state.write();
-        state.events.push(event);
-        state.events_ingested += 1;
-    }
-
-    /// All alerts so far.
+    /// All alerts so far (drains any queued events first).
     pub fn alerts(&self) -> Vec<Alert> {
+        self.flush();
         self.state.read().alerts.clone()
     }
 
-    /// Total events ingested.
+    /// Total events ingested (drains any queued events first).
     pub fn events_ingested(&self) -> u64 {
+        self.flush();
         self.state.read().events_ingested
     }
 
-    /// Events matching a kind (forensics queries).
+    /// Events matching a kind (forensics queries; drains the queue
+    /// first).
     pub fn events_of_kind(&self, kind: EventKind) -> Vec<SecurityEvent> {
+        self.flush();
         self.state
             .read()
             .events
@@ -239,8 +332,9 @@ impl Siem {
             .collect()
     }
 
-    /// Count of stored events.
+    /// Count of stored events (drains the queue first).
     pub fn event_count(&self) -> usize {
+        self.flush();
         self.state.read().events.len()
     }
 }
@@ -272,7 +366,11 @@ mod tests {
         let (siem, clock) = siem();
         for i in 0..4 {
             clock.advance(100);
-            assert!(siem.ingest(vec![failure(clock.now_ms(), "maid-1")]).is_empty(), "{i}");
+            assert!(
+                siem.ingest(vec![failure(clock.now_ms(), "maid-1")])
+                    .is_empty(),
+                "{i}"
+            );
         }
         clock.advance(100);
         let alerts = siem.ingest(vec![failure(clock.now_ms(), "maid-1")]);
@@ -288,7 +386,9 @@ mod tests {
         let (siem, clock) = siem();
         for _ in 0..10 {
             clock.advance(61_000); // each failure falls outside the window
-            assert!(siem.ingest(vec![failure(clock.now_ms(), "maid-1")]).is_empty());
+            assert!(siem
+                .ingest(vec![failure(clock.now_ms(), "maid-1")])
+                .is_empty());
         }
         assert!(siem.alerts().is_empty());
     }
@@ -406,5 +506,86 @@ mod tests {
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].rule, "token-abuse");
         assert_eq!(alerts[0].recommendation, "revoke-subject");
+    }
+
+    #[test]
+    fn enqueue_is_deferred_until_flush_or_read() {
+        let (siem, clock) = siem();
+        for _ in 0..5 {
+            clock.advance(10);
+            siem.enqueue(failure(clock.now_ms(), "maid-1"));
+        }
+        assert_eq!(siem.pending(), 5);
+        // Any accessor drains the queue and runs detection.
+        let alerts = siem.alerts();
+        assert_eq!(siem.pending(), 0);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, "credential-stuffing");
+        assert_eq!(siem.events_ingested(), 5);
+    }
+
+    #[test]
+    fn flush_merges_concurrent_producers_in_timeline_order() {
+        let (siem, clock) = siem();
+        clock.advance(1_000);
+        let at = clock.now_ms();
+        crossbeam::thread::scope(|scope| {
+            for t in 0..4 {
+                let siem = &siem;
+                scope.spawn(move |_| {
+                    for i in 0..50 {
+                        siem.enqueue(SecurityEvent::new(
+                            at + i,
+                            "fds/broker",
+                            EventKind::TokenIssued,
+                            format!("maid-{t}"),
+                            "aud=ssh-ca",
+                            Severity::Info,
+                        ));
+                    }
+                });
+            }
+        })
+        .expect("producer threads");
+        assert_eq!(siem.events_ingested(), 200);
+        let events = siem.events_of_kind(EventKind::TokenIssued);
+        assert!(events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+    }
+
+    #[test]
+    fn full_queue_applies_backpressure_without_losing_events() {
+        let (siem, clock) = siem();
+        clock.advance(10);
+        let at = clock.now_ms();
+        for _ in 0..(super::INGEST_QUEUE_CAP + 100) {
+            siem.enqueue(SecurityEvent::new(
+                at,
+                "fds/broker",
+                EventKind::TokenIssued,
+                "maid-1",
+                "aud=ssh-ca",
+                Severity::Info,
+            ));
+        }
+        assert_eq!(
+            siem.events_ingested(),
+            (super::INGEST_QUEUE_CAP + 100) as u64
+        );
+    }
+
+    #[test]
+    fn tap_sees_every_drained_event() {
+        let (siem, clock) = siem();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let s2 = seen.clone();
+        siem.register_tap(Box::new(move |_event| {
+            s2.fetch_add(1, Ordering::Relaxed);
+        }));
+        for _ in 0..7 {
+            clock.advance(10);
+            siem.enqueue(failure(clock.now_ms(), "maid-1"));
+        }
+        siem.ingest(vec![failure(clock.now_ms(), "maid-2")]);
+        assert_eq!(seen.load(Ordering::Relaxed), 8);
     }
 }

@@ -14,6 +14,7 @@ use dri_broker::broker::Jwks;
 use dri_clock::SimClock;
 use dri_crypto::ed25519::{SigningKey, VerifyingKey};
 use dri_crypto::jwt::JwtError;
+use dri_sync::Snapshot;
 use parking_lot::RwLock;
 
 use crate::cert::SshCertificate;
@@ -63,7 +64,7 @@ pub struct SshCa {
     pub audience: String,
     ca_key: RwLock<SigningKey>,
     clock: SimClock,
-    jwks: RwLock<Jwks>,
+    jwks: Snapshot<Jwks>,
     authz: Arc<dyn AuthorizationSource>,
     /// Certificate lifetime in seconds (short-lived by design; the E12
     /// experiment sweeps this).
@@ -86,7 +87,7 @@ impl SshCa {
             audience: "ssh-ca".to_string(),
             ca_key: RwLock::new(SigningKey::from_seed(&seed)),
             clock,
-            jwks: RwLock::new(jwks),
+            jwks: Snapshot::new(jwks),
             authz,
             cert_ttl_secs,
             serial: AtomicU64::new(0),
@@ -109,7 +110,7 @@ impl SshCa {
 
     /// Refresh the JWKS snapshot (broker key rotation).
     pub fn update_jwks(&self, jwks: Jwks) {
-        *self.jwks.write() = jwks;
+        self.jwks.store(jwks);
     }
 
     /// Rotate the CA key (old certificates become invalid everywhere the
@@ -132,7 +133,7 @@ impl SshCa {
         let now = self.clock.now_secs();
         let claims = self
             .jwks
-            .read()
+            .load()
             .validate(token, &self.audience, now)
             .map_err(CaError::BadToken)?;
         if let Some(check) = &self.introspect {
@@ -147,8 +148,10 @@ impl SshCa {
         if projects.is_empty() {
             return Err(CaError::NoPrincipals);
         }
-        let principals: Vec<String> =
-            projects.iter().map(|(_, account)| account.clone()).collect();
+        let principals: Vec<String> = projects
+            .iter()
+            .map(|(_, account)| account.clone())
+            .collect();
         let certificate = SshCertificate {
             public_key: user_public_key,
             serial: self.serial.fetch_add(1, Ordering::Relaxed) + 1,
@@ -161,7 +164,10 @@ impl SshCa {
             signature: [0u8; 64],
         }
         .signed(&self.ca_key.read());
-        Ok(SignedCertificate { certificate, projects })
+        Ok(SignedCertificate {
+            certificate,
+            projects,
+        })
     }
 }
 
@@ -197,14 +203,29 @@ mod tests {
         broker.register_service(TokenPolicy::standard("ssh-ca", 900));
         let session = broker
             .login_managed(
-                &ManagedLogin { subject: "last-resort:alice".into(), acr: "mfa-totp".into() },
+                &ManagedLogin {
+                    subject: "last-resort:alice".into(),
+                    acr: "mfa-totp".into(),
+                },
                 IdentitySource::LastResort,
             )
             .unwrap();
         let broker2 = broker.clone();
-        let ca = SshCa::new([32u8; 32], 8 * 3600, clock.clone(), broker.jwks(), authz.clone())
-            .with_introspection(Arc::new(move |jti| broker2.introspect(jti)));
-        Fixture { ca, broker, clock, authz, session_id: session.session_id }
+        let ca = SshCa::new(
+            [32u8; 32],
+            8 * 3600,
+            clock.clone(),
+            broker.jwks(),
+            authz.clone(),
+        )
+        .with_introspection(Arc::new(move |jti| broker2.introspect(jti)));
+        Fixture {
+            ca,
+            broker,
+            clock,
+            authz,
+            session_id: session.session_id,
+        }
     }
 
     fn token(f: &Fixture) -> String {
@@ -223,7 +244,10 @@ mod tests {
             cert.verify(&f.ca.public_key(), f.clock.now_secs(), Some("u1a2b3c4")),
             Ok(())
         );
-        assert_eq!(signed.projects, vec![("climate-llm".into(), "u1a2b3c4".into())]);
+        assert_eq!(
+            signed.projects,
+            vec![("climate-llm".into(), "u1a2b3c4".into())]
+        );
     }
 
     #[test]
@@ -234,10 +258,11 @@ mod tests {
             Err(CaError::BadToken(_))
         ));
         // Mint a token for a different audience.
-        f.broker.register_service(TokenPolicy::standard("jupyter", 900));
-        f.authz.grant("last-resort:alice", "jupyter", &["researcher"]);
-        let (jupyter_token, _) =
-            f.broker.issue_token(&f.session_id, "jupyter").unwrap();
+        f.broker
+            .register_service(TokenPolicy::standard("jupyter", 900));
+        f.authz
+            .grant("last-resort:alice", "jupyter", &["researcher"]);
+        let (jupyter_token, _) = f.broker.issue_token(&f.session_id, "jupyter").unwrap();
         assert!(matches!(
             f.ca.sign_request(&jupyter_token, [0u8; 32]),
             Err(CaError::BadToken(JwtError::WrongAudience))
@@ -249,7 +274,10 @@ mod tests {
         let f = fixture();
         let (tok, claims) = f.broker.issue_token(&f.session_id, "ssh-ca").unwrap();
         f.broker.revoke_token(&claims.token_id);
-        assert!(matches!(f.ca.sign_request(&tok, [0u8; 32]), Err(CaError::TokenRevoked)));
+        assert!(matches!(
+            f.ca.sign_request(&tok, [0u8; 32]),
+            Err(CaError::TokenRevoked)
+        ));
     }
 
     #[test]
@@ -260,12 +288,18 @@ mod tests {
         let session = f
             .broker
             .login_managed(
-                &ManagedLogin { subject: "last-resort:bob".into(), acr: "mfa-totp".into() },
+                &ManagedLogin {
+                    subject: "last-resort:bob".into(),
+                    acr: "mfa-totp".into(),
+                },
                 IdentitySource::LastResort,
             )
             .unwrap();
         let (tok, _) = f.broker.issue_token(&session.session_id, "ssh-ca").unwrap();
-        assert!(matches!(f.ca.sign_request(&tok, [0u8; 32]), Err(CaError::NoPrincipals)));
+        assert!(matches!(
+            f.ca.sign_request(&tok, [0u8; 32]),
+            Err(CaError::NoPrincipals)
+        ));
     }
 
     #[test]

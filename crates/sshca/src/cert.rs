@@ -86,9 +86,8 @@ impl<'a> Reader<'a> {
         if self.pos + 4 > self.data.len() {
             return Err(CertError::Malformed);
         }
-        let len = u32::from_be_bytes(
-            self.data[self.pos..self.pos + 4].try_into().unwrap(),
-        ) as usize;
+        let len =
+            u32::from_be_bytes(self.data[self.pos..self.pos + 4].try_into().unwrap()) as usize;
         self.pos += 4;
         if self.pos + len > self.data.len() {
             return Err(CertError::Malformed);

@@ -186,7 +186,10 @@ mod tests {
         broker.register_service(TokenPolicy::standard("ssh-ca", 900));
         let session = broker
             .login_managed(
-                &ManagedLogin { subject: "last-resort:alice".into(), acr: "mfa-totp".into() },
+                &ManagedLogin {
+                    subject: "last-resort:alice".into(),
+                    acr: "mfa-totp".into(),
+                },
                 IdentitySource::LastResort,
             )
             .unwrap();
@@ -197,7 +200,12 @@ mod tests {
             audience: "ssh-ca".into(),
         });
         let ca = SshCa::new([42u8; 32], 4 * 3600, clock.clone(), broker.jwks(), authz);
-        Fixture { oidc, ca, session_id: session.session_id, clock }
+        Fixture {
+            oidc,
+            ca,
+            session_id: session.session_id,
+            clock,
+        }
     }
 
     #[test]

@@ -106,9 +106,7 @@ pub fn run_attack(infra: &Infrastructure, scenario: AttackScenario) -> AttackOut
                 claims.roles = vec!["researcher".into()];
                 claims.token_id = format!("forged-{i}");
                 let forged = sign(&claims, &Signer::Ed25519(&rogue), "fds-key-1");
-                let result = infra
-                    .jupyter
-                    .spawn(&[("x-auth-token".into(), forged)]);
+                let result = infra.jupyter.spawn(&[("x-auth-token".into(), forged)]);
                 if result.is_err() {
                     rejected += 1;
                     infra.emit(
@@ -168,12 +166,12 @@ mod tests {
     #[test]
     fn credential_stuffing_is_rejected_and_detected() {
         let infra = Infrastructure::new(InfraConfig::default());
-        let outcome =
-            run_attack(&infra, AttackScenario::CredentialStuffing { attempts: 8 });
+        let outcome = run_attack(&infra, AttackScenario::CredentialStuffing { attempts: 8 });
         assert_eq!(outcome.rejected, 8, "every guess fails");
         let alerts = infra.siem.alerts();
-        assert!(alerts.iter().any(|a| a.rule == "credential-stuffing"
-            && a.subject == outcome.expected_alert_subject));
+        assert!(alerts.iter().any(
+            |a| a.rule == "credential-stuffing" && a.subject == outcome.expected_alert_subject
+        ));
     }
 
     #[test]
@@ -217,6 +215,9 @@ mod tests {
         let action = infra.respond_to_alert(&alert);
         assert!(action.contains("isolated host mdc/login01"));
         // The host really is cut off now.
-        assert!(infra.network.check("sws/bastion", "mdc/login01", "ssh").is_err());
+        assert!(infra
+            .network
+            .check("sws/bastion", "mdc/login01", "ssh")
+            .is_err());
     }
 }

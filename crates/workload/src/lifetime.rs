@@ -46,8 +46,7 @@ pub fn sweep_lifetimes(
                 reauths_per_day: reauths,
                 mean_exposure_secs: mean_exposure,
                 worst_exposure_secs: ttl,
-                combined_cost: reauths as f64
-                    + exposure_weight * (mean_exposure / 3600.0),
+                combined_cost: reauths as f64 + exposure_weight * (mean_exposure / 3600.0),
             }
         })
         .collect()
@@ -86,15 +85,7 @@ mod tests {
     fn crossover_favours_hours_not_extremes() {
         // With exposure weighted at 2 reauth-equivalents/hour, the best
         // TTL is neither 1 minute (reauth hell) nor 1 week (exposure).
-        let ttls: Vec<u64> = vec![
-            60,
-            900,
-            3600,
-            4 * 3600,
-            8 * 3600,
-            24 * 3600,
-            7 * 24 * 3600,
-        ];
+        let ttls: Vec<u64> = vec![60, 900, 3600, 4 * 3600, 8 * 3600, 24 * 3600, 7 * 24 * 3600];
         let points = sweep_lifetimes(&ttls, DAY, 2.0);
         let best = best_lifetime(&points).unwrap();
         assert!(best.ttl_secs >= 3600, "not re-auth hell: {}", best.ttl_secs);
@@ -108,8 +99,12 @@ mod tests {
     #[test]
     fn heavier_exposure_weight_shortens_best_ttl() {
         let ttls: Vec<u64> = vec![900, 3600, 4 * 3600, 8 * 3600, 24 * 3600];
-        let casual = best_lifetime(&sweep_lifetimes(&ttls, DAY, 0.5)).unwrap().ttl_secs;
-        let strict = best_lifetime(&sweep_lifetimes(&ttls, DAY, 50.0)).unwrap().ttl_secs;
+        let casual = best_lifetime(&sweep_lifetimes(&ttls, DAY, 0.5))
+            .unwrap()
+            .ttl_secs;
+        let strict = best_lifetime(&sweep_lifetimes(&ttls, DAY, 50.0))
+            .unwrap()
+            .ttl_secs;
         assert!(strict <= casual);
     }
 }

@@ -1,12 +1,12 @@
 //! Population builder: projects, PIs and researchers at scale.
 
-use dri_core::{FlowError, Infrastructure};
+use dri_core::{FlowError, Infrastructure, ProjectId};
 
 /// One onboarded project with its people.
 #[derive(Debug, Clone)]
 pub struct ProjectHandle {
     /// Portal project id.
-    pub project_id: String,
+    pub project_id: ProjectId,
     /// Project name.
     pub name: String,
     /// The PI's user label.

@@ -7,8 +7,8 @@
 //! report quantifies the operational cost of zero trust (token volume,
 //! re-authentications) against delivered work (jobs, notebooks).
 
-use dri_core::{FlowError, Infrastructure};
 use dri_clock::SimRng;
+use dri_core::{FlowError, Infrastructure};
 
 use crate::population::Population;
 
@@ -179,8 +179,10 @@ mod tests {
 
     #[test]
     fn long_day_forces_reauthentication() {
-        let mut cfg = InfraConfig::default();
-        cfg.session_ttl_secs = 3600; // 1-hour sessions
+        let cfg = InfraConfig {
+            session_ttl_secs: 3600, // 1-hour sessions
+            ..InfraConfig::default()
+        };
         let infra = Infrastructure::new(cfg);
         let population = build_population(&infra, 2, 1).unwrap();
         let mut rng = SimRng::seed_from_u64(9);
@@ -203,7 +205,10 @@ mod tests {
             let infra = Infrastructure::new(InfraConfig::default());
             let population = build_population(&infra, 2, 2).unwrap();
             let mut rng = SimRng::seed_from_u64(11);
-            let config = DayConfig { duration_secs: 2 * 3600, ..Default::default() };
+            let config = DayConfig {
+                duration_secs: 2 * 3600,
+                ..Default::default()
+            };
             let r = run_day(&infra, &population, &config, &mut rng);
             (r.activities, r.ssh_sessions, r.notebooks, r.tokens_minted)
         };

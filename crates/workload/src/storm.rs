@@ -133,11 +133,7 @@ mod tests {
     use crate::population::build_population;
     use dri_core::InfraConfig;
 
-    fn storm_users(
-        infra: &Infrastructure,
-        projects: usize,
-        per: usize,
-    ) -> Vec<(String, String)> {
+    fn storm_users(infra: &Infrastructure, projects: usize, per: usize) -> Vec<(String, String)> {
         let pop = build_population(infra, projects, per).unwrap();
         pop.projects
             .iter()
@@ -173,10 +169,7 @@ mod tests {
         // No cross-tenant leakage: every notebook runs under the unix
         // account of its own subject.
         for p in 0..5 {
-            let project = infra
-                .portal
-                .project(&format!("proj-{:06}", p + 1))
-                .unwrap();
+            let project = infra.portal.project(&format!("proj-{:06}", p + 1)).unwrap();
             for m in &project.members {
                 assert!(m.unix_account.starts_with('u'));
             }
@@ -185,8 +178,7 @@ mod tests {
 
     #[test]
     fn storm_respects_capacity() {
-        let mut cfg = InfraConfig::default();
-        cfg.jupyter_capacity = 10;
+        let cfg = InfraConfig::builder().jupyter_capacity(10).build().unwrap();
         let infra = Infrastructure::new(cfg);
         let users = storm_users(&infra, 4, 3); // 16 users, capacity 10
         let result = run_storm(&infra, &users, StormMode::Serial);
@@ -201,6 +193,9 @@ mod tests {
         let users = storm_users(&infra, 3, 2);
         let result = run_storm(&infra, &users, StormMode::Serial);
         assert!(result.latency_quantile(0.5) <= result.latency_quantile(0.99));
-        assert_eq!(result.latency_quantile(1.0), *result.latencies_us.last().unwrap());
+        assert_eq!(
+            result.latency_quantile(1.0),
+            *result.latencies_us.last().unwrap()
+        );
     }
 }

@@ -17,13 +17,19 @@ fn main() {
 
     // Exercise the infrastructure so the audit sees live evidence.
     infra.create_federated_user("alice", "pw");
-    infra.story1_onboard_pi("climate-llm", "alice", 100.0).expect("onboard");
+    infra
+        .story1_onboard_pi("climate-llm", "alice", 100.0)
+        .expect("onboard");
     infra.story2_register_admin("dave").expect("admin");
-    infra.story4_ssh_connect("alice", "climate-llm").expect("ssh");
+    infra
+        .story4_ssh_connect("alice", "climate-llm")
+        .expect("ssh");
     infra
         .story6_jupyter("alice", "climate-llm", "198.51.100.9")
         .expect("jupyter");
-    infra.story5_privileged_op("dave", MgmtOp::Health).expect("op");
+    infra
+        .story5_privileged_op("dave", MgmtOp::Health)
+        .expect("op");
     infra.pump_network_logs();
 
     println!("== NIST SP 800-207 seven-tenet audit ==");
@@ -74,7 +80,10 @@ fn main() {
     let projects_hosted = 20;
     let perimeter = PerimeterBaseline::new(SimClock::new(), projects_hosted).blast_radius();
     let zta = infra.zta_blast_radius(1);
-    println!("  {:<28} {:>12} {:>12}", "metric", "perimeter", "zero-trust");
+    println!(
+        "  {:<28} {:>12} {:>12}",
+        "metric", "perimeter", "zero-trust"
+    );
     println!(
         "  {:<28} {:>12} {:>12}",
         "reachable services", perimeter.reachable_services, zta.reachable_services

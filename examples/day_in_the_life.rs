@@ -12,8 +12,10 @@ use isambard_dri::core::{InfraConfig, Infrastructure};
 use isambard_dri::workload::{build_population, run_day, DayConfig};
 
 fn main() {
-    let mut cfg = InfraConfig::default();
-    cfg.session_ttl_secs = 4 * 3600; // force some re-auth over the day
+    let cfg = InfraConfig {
+        session_ttl_secs: 4 * 3600, // force some re-auth over the day
+        ..InfraConfig::default()
+    };
     let infra = Infrastructure::new(cfg);
 
     println!("== a day in the life of the co-design ==\n");
@@ -39,7 +41,10 @@ fn main() {
     println!("  ssh sessions        : {}", report.ssh_sessions);
     println!("  batch jobs          : {}", report.jobs_submitted);
     println!("  notebooks           : {}", report.notebooks);
-    println!("  re-authentications  : {}  (4h session TTL)", report.reauthentications);
+    println!(
+        "  re-authentications  : {}  (4h session TTL)",
+        report.reauthentications
+    );
     println!("  refusals            : {}", report.refusals);
     println!("  broker tokens minted: {}", report.tokens_minted);
     println!("  node-hours delivered: {:.1}", report.node_hours);
@@ -64,7 +69,6 @@ fn main() {
     );
     println!(
         "  zero-trust overhead: {:.2} tokens per delivered activity",
-        report.tokens_minted as f64
-            / (report.ssh_sessions + report.notebooks).max(1) as f64
+        report.tokens_minted as f64 / (report.ssh_sessions + report.notebooks).max(1) as f64
     );
 }

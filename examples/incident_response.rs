@@ -16,8 +16,12 @@ fn main() {
 
     // A legitimate tenant is active while the attacks run.
     infra.create_federated_user("alice", "pw");
-    infra.story1_onboard_pi("climate-llm", "alice", 100.0).expect("onboard");
-    let ssh = infra.story4_ssh_connect("alice", "climate-llm").expect("ssh");
+    infra
+        .story1_onboard_pi("climate-llm", "alice", 100.0)
+        .expect("onboard");
+    let ssh = infra
+        .story4_ssh_connect("alice", "climate-llm")
+        .expect("ssh");
     infra
         .story6_jupyter("alice", "climate-llm", "198.51.100.10")
         .expect("jupyter");
@@ -79,7 +83,13 @@ fn main() {
         "  severed: {} bastion relays, {} shells, {} notebooks, {} jobs — instant",
         report.bastion_sessions_cut, report.shells_cut, report.notebooks_cut, report.jobs_cancelled
     );
-    println!("  re-login possible: {}", infra.federated_login("alice").is_ok());
+    println!(
+        "  re-login possible: {}",
+        infra.federated_login("alice").is_ok()
+    );
     infra.reinstate_user(&subject);
-    println!("  after reinstatement: {}", infra.federated_login("alice").is_ok());
+    println!(
+        "  after reinstatement: {}",
+        infra.federated_login("alice").is_ok()
+    );
 }

@@ -30,7 +30,10 @@ fn main() {
     for step in &pi.trace {
         println!("    - {step}");
     }
-    println!("    project={} cuid={} unix={}", pi.project_id, pi.cuid, pi.unix_account);
+    println!(
+        "    project={} cuid={} unix={}",
+        pi.project_id, pi.cuid, pi.unix_account
+    );
 
     // 3. User story 3 — the PI invites a researcher.
     infra.create_federated_user("ravi", "another-password");
@@ -56,10 +59,15 @@ fn main() {
     let jupyter = infra
         .story6_jupyter("ravi", "climate-llm", "198.51.100.23")
         .expect("jupyter story");
-    println!("\n[story 6] notebook {} on job {}", jupyter.notebook.id, jupyter.notebook.job_id);
+    println!(
+        "\n[story 6] notebook {} on job {}",
+        jupyter.notebook.id, jupyter.notebook.job_id
+    );
 
     // 6. User story 2 + 5 — an admin registers and runs a privileged op.
-    infra.story2_register_admin("dave").expect("admin registration");
+    infra
+        .story2_register_admin("dave")
+        .expect("admin registration");
     let op = infra
         .story5_privileged_op("dave", MgmtOp::Health)
         .expect("privileged op");

@@ -14,7 +14,9 @@ fn storm_users(infra: &Infrastructure, projects: usize, per: usize) -> Vec<(Stri
         .iter()
         .flat_map(|p| {
             std::iter::once((p.pi_label.clone(), p.name.clone())).chain(
-                p.researcher_labels.iter().map(|r| (r.clone(), p.name.clone())),
+                p.researcher_labels
+                    .iter()
+                    .map(|r| (r.clone(), p.name.clone())),
             )
         })
         .collect()
@@ -43,15 +45,23 @@ fn main() {
     }
 
     // The sweep: how far past 45 does the design hold?
-    println!("\n{:>6} {:>9} {:>10} {:>10} {:>12}", "users", "completed", "p50(µs)", "p99(µs)", "flows/s");
+    println!(
+        "\n{:>6} {:>9} {:>10} {:>10} {:>12}",
+        "users", "completed", "p50(µs)", "p99(µs)", "flows/s"
+    );
     for n in [8usize, 16, 32, 45, 64, 128, 256] {
-        let mut cfg = InfraConfig::default();
-        cfg.jupyter_capacity = 1024;
-        cfg.interactive_nodes = 1024;
+        let cfg = InfraConfig::builder()
+            .jupyter_capacity(1024)
+            .interactive_nodes(1024)
+            .build()
+            .expect("workshop config is valid");
         let infra = Infrastructure::new(cfg);
         // projects of 8 (1 PI + 7 researchers)
         let projects = n.div_ceil(8);
-        let users: Vec<_> = storm_users(&infra, projects, 7).into_iter().take(n).collect();
+        let users: Vec<_> = storm_users(&infra, projects, 7)
+            .into_iter()
+            .take(n)
+            .collect();
         let result = run_storm(&infra, &users, StormMode::Parallel(8));
         println!(
             "{:>6} {:>9} {:>10} {:>10} {:>12.0}",

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, and the tier-1 build+test cycle.
+# Everything runs offline against the vendored shims — no network needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q =="
+cargo test -q --offline
+
+echo "All checks passed."

@@ -1,0 +1,317 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build container has no registry access, so the bench harness is a
+//! minimal wall-clock sampler: each benchmark runs a calibration pass to
+//! pick an iteration count per sample, collects `sample_size` samples,
+//! and prints min/median/mean per-iteration times (plus throughput when
+//! configured). No statistical regression machinery — the numbers are
+//! honest wall-clock measurements, good enough for the before/after
+//! comparisons the bench reports print.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The shim times the routine
+/// only, so the variants are behaviourally identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh input per routine call.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: Display>(function_id: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-sample timer handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_size,
+        }
+    }
+
+    fn calibrate<F: FnMut() -> Duration>(&mut self, mut one_iter: F) {
+        // Target ~2ms per sample so fast ops still sample meaningfully
+        // while storm-scale benches (tens of ms per iter) run once.
+        let probe = one_iter();
+        let target = Duration::from_millis(2);
+        self.iters_per_sample = if probe.is_zero() {
+            1024
+        } else {
+            (target.as_nanos() / probe.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+        };
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.calibrate(|| {
+            let t = Instant::now();
+            black_box(routine());
+            t.elapsed()
+        });
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Time `routine` on inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Batched benches here are storm-scale: one iteration per sample.
+        self.iters_per_sample = 1;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&mut self, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let mut line = format!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_dur(min),
+            fmt_dur(median),
+            fmt_dur(mean)
+        );
+        if let Some(tp) = throughput {
+            let per_sec = |count: u64| count as f64 / median.as_secs_f64().max(1e-12);
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:.1} elem/s", per_sec(n)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  thrpt: {:.2} MiB/s",
+                        per_sec(n) / (1024.0 * 1024.0)
+                    ));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Top-level harness.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 30,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Honour a benchmark-name filter from the command line (positional
+    /// arg, as `cargo bench -- <filter>` passes it). Harness flags like
+    /// `--bench` are ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn wants(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        if self.wants(name) {
+            let mut b = Bencher::new(self.sample_size);
+            f(&mut b);
+            b.report(name, None);
+        }
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Print the closing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Set the throughput annotation applied to subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnOnce(&mut Bencher)>(&mut self, id: String, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.wants(&full) {
+            return;
+        }
+        let mut b = Bencher::new(self.sample_size.unwrap_or(self.criterion.sample_size));
+        f(&mut b);
+        b.report(&full, self.throughput);
+    }
+
+    /// Run a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run(name.to_string(), f);
+        self
+    }
+
+    /// Run a parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u64;
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("shim/test", |b| b.iter(|| ran += 1));
+        assert!(ran >= 2);
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(3));
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("storm", 45).to_string(), "storm/45");
+        assert_eq!(BenchmarkId::from_parameter(1024).to_string(), "1024");
+    }
+}

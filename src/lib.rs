@@ -4,6 +4,8 @@
 //! downstream users can depend on a single crate. See the README for the
 //! architecture overview and DESIGN.md for the system inventory.
 
+pub use dri_core::prelude;
+
 pub use dri_broker as broker;
 pub use dri_clock as clock;
 pub use dri_cluster as cluster;

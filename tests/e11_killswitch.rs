@@ -6,7 +6,9 @@ use isambard_dri::siem::EventKind;
 fn victim_with_footholds() -> (Infrastructure, String) {
     let infra = Infrastructure::new(InfraConfig::default());
     infra.create_federated_user("alice", "pw");
-    infra.story1_onboard_pi("climate-llm", "alice", 100.0).unwrap();
+    infra
+        .story1_onboard_pi("climate-llm", "alice", 100.0)
+        .unwrap();
     // Alice holds every kind of live access: an SSH shell, a bastion
     // relay, a notebook, and a batch job.
     let ssh = infra.story4_ssh_connect("alice", "climate-llm").unwrap();
@@ -69,7 +71,9 @@ fn bastion_global_kill_severs_all_users() {
         infra
             .story1_onboard_pi(&format!("proj-{i}"), name, 10.0)
             .unwrap();
-        infra.story4_ssh_connect(name, &format!("proj-{i}")).unwrap();
+        infra
+            .story4_ssh_connect(name, &format!("proj-{i}"))
+            .unwrap();
     }
     assert_eq!(infra.bastion.session_count(), 3);
     let severed = infra.kill_bastion();

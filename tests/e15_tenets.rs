@@ -8,7 +8,9 @@ use isambard_dri::policy::{TenetAudit, TenetEvidence};
 fn exercised_infra() -> Infrastructure {
     let infra = Infrastructure::new(InfraConfig::default());
     infra.create_federated_user("alice", "pw");
-    infra.story1_onboard_pi("climate-llm", "alice", 100.0).unwrap();
+    infra
+        .story1_onboard_pi("climate-llm", "alice", 100.0)
+        .unwrap();
     infra.story2_register_admin("dave").unwrap();
     infra.story4_ssh_connect("alice", "climate-llm").unwrap();
     infra
@@ -48,14 +50,20 @@ fn evidence_is_live_not_configured() {
 
 #[test]
 fn long_lived_credentials_fail_tenet_3() {
-    let mut cfg = InfraConfig::default();
-    cfg.cert_ttl_secs = 365 * 24 * 3600; // year-long certs, the old way
+    let cfg = InfraConfig {
+        cert_ttl_secs: 365 * 24 * 3600, // year-long certs, the old way
+        ..InfraConfig::default()
+    };
     let infra = Infrastructure::new(cfg);
     infra.create_federated_user("alice", "pw");
     infra.story1_onboard_pi("p", "alice", 10.0).unwrap();
     infra.story4_ssh_connect("alice", "p").unwrap();
     let audit = infra.tenet_audit();
-    assert!(audit.failing().contains(&3), "failing: {:?}", audit.failing());
+    assert!(
+        audit.failing().contains(&3),
+        "failing: {:?}",
+        audit.failing()
+    );
 }
 
 #[test]
@@ -64,7 +72,11 @@ fn no_telemetry_fails_tenet_7() {
     // demonstrate tenet 7 — evidence must be earned.
     let infra = Infrastructure::new(InfraConfig::default());
     let audit = infra.tenet_audit();
-    assert!(audit.failing().contains(&7), "failing: {:?}", audit.failing());
+    assert!(
+        audit.failing().contains(&7),
+        "failing: {:?}",
+        audit.failing()
+    );
 }
 
 #[test]

@@ -10,9 +10,7 @@ fn exercised() -> Infrastructure {
     infra.story1_onboard_pi("p", "alice", 100.0).unwrap();
     infra.story2_register_admin("dave").unwrap();
     infra.story4_ssh_connect("alice", "p").unwrap();
-    infra
-        .story6_jupyter("alice", "p", "198.51.100.30")
-        .unwrap();
+    infra.story6_jupyter("alice", "p", "198.51.100.30").unwrap();
     infra.pump_network_logs();
     infra
 }
@@ -24,7 +22,11 @@ fn deployed_codesign_meets_caf_baseline() {
     assert!(
         assessment.baseline_compliant(),
         "gaps: {:?}",
-        assessment.gaps().iter().map(|p| (p.id, &p.evidence)).collect::<Vec<_>>()
+        assessment
+            .gaps()
+            .iter()
+            .map(|p| (p.id, &p.evidence))
+            .collect::<Vec<_>>()
     );
     assert_eq!(assessment.baseline_score(), (14, 14));
 }
@@ -54,8 +56,10 @@ fn fresh_deployment_fails_monitoring_principles() {
 
 #[test]
 fn single_bastion_deployment_still_meets_baseline() {
-    let mut cfg = InfraConfig::default();
-    cfg.bastion_instances = 1;
+    let cfg = InfraConfig {
+        bastion_instances: 1,
+        ..InfraConfig::default()
+    };
     let infra = Infrastructure::new(cfg);
     infra.create_federated_user("alice", "pw");
     infra.story1_onboard_pi("p", "alice", 100.0).unwrap();
@@ -73,8 +77,10 @@ fn single_bastion_deployment_still_meets_baseline() {
 fn future_work_toggle_closes_the_cis_gap() {
     // Enabling the in-progress HPC-fabric encryption (paper §V) brings
     // the CIS-style score to 12/12.
-    let mut cfg = InfraConfig::default();
-    cfg.hpc_fabric_encryption = true;
+    let cfg = InfraConfig::builder()
+        .hpc_fabric_encryption(true)
+        .build()
+        .unwrap();
     let infra = Infrastructure::new(cfg);
     let report = infra.cis_report();
     assert_eq!(report.score(), (12, 12));

@@ -2,10 +2,10 @@
 //! raises the bar for handling-controlled workloads, exactly the "OFF"
 //! tier the paper says applies to the Isambard DRIs.
 
-use isambard_dri::core::{FlowError, InfraConfig, Infrastructure};
+use isambard_dri::core::{FlowError, InfraConfig, Infrastructure, ProjectId};
 use isambard_dri::portal::DataClass;
 
-fn with_official_project(label: &str, mfa: bool) -> (Infrastructure, String) {
+fn with_official_project(label: &str, mfa: bool) -> (Infrastructure, ProjectId) {
     let infra = Infrastructure::new(InfraConfig::default());
     if mfa {
         infra.create_federated_user_mfa(label, "pw");
@@ -66,8 +66,13 @@ fn same_user_open_project_unaffected() {
         )
         .unwrap();
     let cuid = infra.subject_of("alice").unwrap();
-    let m = infra.portal.accept_invitation(&inv.token, &cuid, true).unwrap();
-    infra.login_node.provision_account(&m.unix_account, "open-science");
+    let m = infra
+        .portal
+        .accept_invitation(&inv.token, &cuid, true)
+        .unwrap();
+    infra
+        .login_node
+        .provision_account(&m.unix_account, "open-science");
     // Open project works with password-only auth; Official still blocked.
     assert!(infra.story4_ssh_connect("alice", "open-science").is_ok());
     assert!(infra.story4_ssh_connect("alice", "aisi-evals").is_err());
@@ -87,7 +92,11 @@ fn only_allocators_classify_projects() {
         .set_data_class("admin:ops", &outcome.project_id, DataClass::Official)
         .is_ok());
     assert_eq!(
-        infra.portal.project(&outcome.project_id).unwrap().data_class,
+        infra
+            .portal
+            .project(&outcome.project_id)
+            .unwrap()
+            .data_class,
         DataClass::Official
     );
 }

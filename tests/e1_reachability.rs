@@ -34,14 +34,22 @@ fn designed_entry_points_are_exactly_two() {
 #[test]
 fn management_zone_unreachable_from_user_paths() {
     let infra = infra();
-    for src in ["internet/user", "internet/attacker", "mdc/login01", "fds/broker"] {
+    for src in [
+        "internet/user",
+        "internet/attacker",
+        "mdc/login01",
+        "fds/broker",
+    ] {
         assert!(
             infra.network.check(src, "mdc/mgmt01", "admin-api").is_err(),
             "{src} must not reach the management plane"
         );
     }
     // Only the management zone itself administers HPC hosts.
-    assert!(infra.network.check("mdc/mgmt01", "mdc/login01", "ssh").is_ok());
+    assert!(infra
+        .network
+        .check("mdc/mgmt01", "mdc/login01", "ssh")
+        .is_ok());
 }
 
 #[test]

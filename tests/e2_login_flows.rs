@@ -97,7 +97,7 @@ fn login_steps_are_constant_per_route() {
     for i in 1..10 {
         infra.create_federated_user(&format!("u{i}"), "pw");
         let outcome = infra
-            .story1_onboard_pi(&format!("p{i}"), &format!("u{i}"), 1.0)
+            .story1_onboard_pi(&format!("p{i}"), format!("u{i}"), 1.0)
             .unwrap();
         assert_eq!(outcome.trace.len(), first.trace.len());
     }

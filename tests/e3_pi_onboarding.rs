@@ -8,7 +8,9 @@ use isambard_dri::core::{FlowError, InfraConfig, Infrastructure};
 fn full_pi_onboarding_pipeline() {
     let infra = Infrastructure::new(InfraConfig::default());
     infra.create_federated_user("alice", "pw");
-    let outcome = infra.story1_onboard_pi("climate-llm", "alice", 5000.0).unwrap();
+    let outcome = infra
+        .story1_onboard_pi("climate-llm", "alice", 5000.0)
+        .unwrap();
 
     // The project exists and alice is its PI.
     let project = infra.portal.project(&outcome.project_id).unwrap();
@@ -24,7 +26,10 @@ fn full_pi_onboarding_pipeline() {
     assert!(claims.has_role("pi"));
 
     // The trace shows the designed step order.
-    assert_eq!(outcome.trace.first().unwrap(), &"allocator: create project + PI invitation");
+    assert_eq!(
+        outcome.trace.first().unwrap(),
+        &"allocator: create project + PI invitation"
+    );
     assert!(outcome.trace.contains(&"portal: accept invitation + T&C"));
     assert!(outcome.trace.last().unwrap().contains("broker"));
 }
@@ -48,7 +53,9 @@ fn registration_without_grant_fails_after_myaccessid() {
 fn project_expiry_revokes_everything() {
     let infra = Infrastructure::new(InfraConfig::default());
     infra.create_federated_user("alice", "pw");
-    let outcome = infra.story1_onboard_pi("shortlived", "alice", 100.0).unwrap();
+    let outcome = infra
+        .story1_onboard_pi("shortlived", "alice", 100.0)
+        .unwrap();
     assert!(!infra.portal.roles_for(&outcome.cuid, "ssh-ca").is_empty());
 
     // 91 days later the project is past its end date.
@@ -65,8 +72,13 @@ fn project_expiry_revokes_everything() {
 fn on_demand_revocation_works_immediately() {
     let infra = Infrastructure::new(InfraConfig::default());
     infra.create_federated_user("alice", "pw");
-    let outcome = infra.story1_onboard_pi("revocable", "alice", 100.0).unwrap();
-    infra.portal.revoke_project("admin:ops", &outcome.project_id).unwrap();
+    let outcome = infra
+        .story1_onboard_pi("revocable", "alice", 100.0)
+        .unwrap();
+    infra
+        .portal
+        .revoke_project("admin:ops", &outcome.project_id)
+        .unwrap();
     assert!(infra.portal.roles_for(&outcome.cuid, "jupyter").is_empty());
     assert!(infra
         .broker

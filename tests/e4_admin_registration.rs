@@ -50,7 +50,9 @@ fn researcher_cannot_reach_admin_audiences() {
     let infra = Infrastructure::new(InfraConfig::default());
     infra.create_federated_user("alice", "pw");
     infra.story1_onboard_pi("p", "alice", 10.0).unwrap();
-    let err = infra.token_for("alice", "mgmt-tailnet", vec![]).unwrap_err();
+    let err = infra
+        .token_for("alice", "mgmt-tailnet", vec![])
+        .unwrap_err();
     // Whichever gate fires first, it must fire.
     assert!(matches!(
         err,
@@ -80,7 +82,7 @@ fn leaving_admin_loses_access() {
 fn admin_population_stays_small_and_auditable() {
     let infra = Infrastructure::new(InfraConfig::default());
     for i in 0..19 {
-        infra.story2_register_admin(&format!("admin-{i}")).unwrap();
+        infra.story2_register_admin(format!("admin-{i}")).unwrap();
     }
     // ops + 19 = 20, the design size from the paper.
     assert_eq!(infra.admin_idp.user_count(), 20);

@@ -3,14 +3,14 @@
 
 use isambard_dri::broker::AuthorizationSource;
 use isambard_dri::broker::BrokerError;
-use isambard_dri::core::{FlowError, InfraConfig, Infrastructure};
+use isambard_dri::core::{Cuid, FlowError, InfraConfig, Infrastructure, ProjectId};
 use isambard_dri::federation::AuthnError;
 use isambard_dri::portal::PortalError;
 
 struct Setup {
     infra: Infrastructure,
-    project_id: String,
-    researcher_cuid: String,
+    project_id: ProjectId,
+    researcher_cuid: Cuid,
 }
 
 fn onboard() -> Setup {
@@ -21,7 +21,11 @@ fn onboard() -> Setup {
     let researcher = infra
         .story3_onboard_researcher("alice", &pi.project_id, "genomics", "ravi")
         .unwrap();
-    Setup { infra, project_id: pi.project_id, researcher_cuid: researcher.cuid }
+    Setup {
+        infra,
+        project_id: pi.project_id,
+        researcher_cuid: researcher.cuid,
+    }
 }
 
 #[test]
@@ -54,7 +58,11 @@ fn pi_removal_revokes_researcher() {
         .portal
         .remove_member(&pi_subject, &s.project_id, &s.researcher_cuid)
         .unwrap();
-    assert!(s.infra.portal.roles_for(&s.researcher_cuid, "jupyter").is_empty());
+    assert!(s
+        .infra
+        .portal
+        .roles_for(&s.researcher_cuid, "jupyter")
+        .is_empty());
     // Fresh login now fails — no authorisation remains.
     assert!(matches!(
         s.infra.federated_login("ravi"),
@@ -105,5 +113,9 @@ fn removed_then_reinvited_keeps_same_cuid_but_new_grant() {
         .accept_invitation(&invitation.token, &s.researcher_cuid, true)
         .unwrap();
     assert_eq!(membership.subject, s.researcher_cuid);
-    assert!(!s.infra.portal.roles_for(&s.researcher_cuid, "jupyter").is_empty());
+    assert!(!s
+        .infra
+        .portal
+        .roles_for(&s.researcher_cuid, "jupyter")
+        .is_empty());
 }

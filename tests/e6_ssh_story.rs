@@ -7,7 +7,9 @@ use isambard_dri::sshca::CertError;
 fn onboarded() -> Infrastructure {
     let infra = Infrastructure::new(InfraConfig::default());
     infra.create_federated_user("alice", "pw");
-    infra.story1_onboard_pi("climate-llm", "alice", 100.0).unwrap();
+    infra
+        .story1_onboard_pi("climate-llm", "alice", 100.0)
+        .unwrap();
     infra
 }
 
@@ -37,7 +39,15 @@ fn certificate_expiry_forces_reissuance() {
     infra.clock.advance_secs(infra.config.cert_ttl_secs + 1);
     // The retained certificate no longer opens sessions.
     let users = infra.users.read();
-    let cert = users.get("alice").unwrap().ssh.as_ref().unwrap().certificate.clone().unwrap();
+    let cert = users
+        .get("alice")
+        .unwrap()
+        .ssh
+        .as_ref()
+        .unwrap()
+        .certificate
+        .clone()
+        .unwrap();
     drop(users);
     assert_eq!(
         cert.verify(&infra.ssh_ca.public_key(), infra.clock.now_secs(), None),
@@ -71,8 +81,13 @@ fn unique_unix_account_per_project_in_cert_principals() {
         )
         .unwrap();
     let cuid = infra.subject_of("alice").unwrap();
-    let m2 = infra.portal.accept_invitation(&inv.token, &cuid, true).unwrap();
-    infra.login_node.provision_account(&m2.unix_account, "genomics");
+    let m2 = infra
+        .portal
+        .accept_invitation(&inv.token, &cuid, true)
+        .unwrap();
+    infra
+        .login_node
+        .provision_account(&m2.unix_account, "genomics");
 
     infra.story4_ssh_connect("alice", "climate-llm").unwrap();
     let users = infra.users.read();
@@ -97,8 +112,16 @@ fn wrong_project_principal_is_refused() {
     drop(users);
     // Try to use the cert as a principal it does not certify.
     assert!(matches!(
-        infra.bastion.relay(&infra.network, "internet/user", "mdc/login01", &cert, "uDEADBEEF"),
-        Err(isambard_dri::netsim::BastionError::Cert(CertError::PrincipalNotAllowed))
+        infra.bastion.relay(
+            &infra.network,
+            "internet/user",
+            "mdc/login01",
+            &cert,
+            "uDEADBEEF"
+        ),
+        Err(isambard_dri::netsim::BastionError::Cert(
+            CertError::PrincipalNotAllowed
+        ))
     ));
 }
 

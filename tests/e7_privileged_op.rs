@@ -8,7 +8,10 @@ fn privileged_op_end_to_end() {
     let infra = Infrastructure::new(InfraConfig::default());
     infra.story2_register_admin("dave").unwrap();
     // Seed a job to cancel.
-    infra.scheduler.submit("u-rogue", "p", "gh", 1, 1000).unwrap();
+    infra
+        .scheduler
+        .submit("u-rogue", "p", "gh", 1, 1000)
+        .unwrap();
     infra.scheduler.tick();
 
     let outcome = infra
@@ -17,7 +20,10 @@ fn privileged_op_end_to_end() {
     assert_eq!(outcome.detail, "cancelled 1 jobs of u-rogue");
     // Every layer appears in the trace.
     assert!(outcome.trace.iter().any(|s| s.contains("tailnet: enrol")));
-    assert!(outcome.trace.iter().any(|s| s.contains("encrypted command")));
+    assert!(outcome
+        .trace
+        .iter()
+        .any(|s| s.contains("encrypted command")));
     assert!(outcome.trace.iter().any(|s| s.contains("cluster-ACL")));
     // And the op is in the management audit log.
     assert_eq!(infra.mgmt.audit_log().len(), 1);
@@ -83,7 +89,9 @@ fn admin_token_expiry_forces_fresh_issuance() {
     let infra = Infrastructure::new(InfraConfig::default());
     infra.story2_register_admin("dave").unwrap();
     let (token, _) = infra.token_for("dave", "mgmt-cluster", vec![]).unwrap();
-    infra.clock.advance_secs(infra.config.admin_token_ttl_secs + 1);
+    infra
+        .clock
+        .advance_secs(infra.config.admin_token_ttl_secs + 1);
     assert!(matches!(
         infra
             .mgmt

@@ -8,7 +8,9 @@ use isambard_dri::netsim::{EdgeError, HttpRequest, TunnelError};
 fn onboarded() -> Infrastructure {
     let infra = Infrastructure::new(InfraConfig::default());
     infra.create_federated_user("alice", "pw");
-    infra.story1_onboard_pi("climate-llm", "alice", 100.0).unwrap();
+    infra
+        .story1_onboard_pi("climate-llm", "alice", 100.0)
+        .unwrap();
     infra
 }
 
@@ -39,7 +41,11 @@ fn unauthenticated_request_gets_401_through_the_whole_path() {
         .handle(
             &infra.tunnel,
             "203.0.113.50",
-            HttpRequest { path: "/jupyter".into(), headers: vec![], body: vec![] },
+            HttpRequest {
+                path: "/jupyter".into(),
+                headers: vec![],
+                body: vec![],
+            },
         )
         .unwrap();
     assert_eq!(response.status, 401);
@@ -59,7 +65,9 @@ fn expired_token_rejected_by_authenticator() {
             )],
         )
         .unwrap();
-    infra.clock.advance_secs(infra.config.jupyter_token_ttl_secs + 1);
+    infra
+        .clock
+        .advance_secs(infra.config.jupyter_token_ttl_secs + 1);
     let response = infra
         .edge
         .handle(
@@ -78,7 +86,11 @@ fn expired_token_rejected_by_authenticator() {
 #[test]
 fn ddos_source_is_absorbed_at_the_edge() {
     let infra = onboarded();
-    let req = || HttpRequest { path: "/jupyter".into(), headers: vec![], body: vec![] };
+    let req = || HttpRequest {
+        path: "/jupyter".into(),
+        headers: vec![],
+        body: vec![],
+    };
     // Hammer from one source: after the threshold the source is blocked
     // and the origin stops seeing its traffic entirely.
     let mut blocked = false;
@@ -119,8 +131,16 @@ fn stopping_notebook_frees_the_node() {
     let outcome = infra
         .story6_jupyter("alice", "climate-llm", "198.51.100.10")
         .unwrap();
-    let part_before = infra.scheduler.partition("interactive").unwrap().allocated_nodes;
+    let part_before = infra
+        .scheduler
+        .partition("interactive")
+        .unwrap()
+        .allocated_nodes;
     assert!(infra.jupyter.stop(&outcome.notebook.id));
-    let part_after = infra.scheduler.partition("interactive").unwrap().allocated_nodes;
+    let part_after = infra
+        .scheduler
+        .partition("interactive")
+        .unwrap()
+        .allocated_nodes;
     assert_eq!(part_after, part_before - 1);
 }

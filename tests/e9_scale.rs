@@ -10,7 +10,9 @@ fn users_for(infra: &Infrastructure, projects: usize, per: usize) -> Vec<(String
         .iter()
         .flat_map(|p| {
             std::iter::once((p.pi_label.clone(), p.name.clone())).chain(
-                p.researcher_labels.iter().map(|r| (r.clone(), p.name.clone())),
+                p.researcher_labels
+                    .iter()
+                    .map(|r| (r.clone(), p.name.clone())),
             )
         })
         .collect()

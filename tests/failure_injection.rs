@@ -89,7 +89,9 @@ fn retired_idp_locks_out_its_users_only() {
         isambard_dri::federation::LevelOfAssurance::Medium,
     );
     infra.create_federated_user_at(&idp, "pat", "pw");
-    infra.story1_onboard_pi("partner-proj", "pat", 10.0).unwrap();
+    infra
+        .story1_onboard_pi("partner-proj", "pat", 10.0)
+        .unwrap();
     // The federation retires the partner IdP (e.g. compromise).
     infra.registry.deregister_entity(&idp).unwrap();
     // pat can no longer authenticate (proxy refuses the unknown IdP) …
@@ -103,8 +105,7 @@ fn retired_idp_locks_out_its_users_only() {
 
 #[test]
 fn jupyter_capacity_exhaustion_fails_closed_and_recovers() {
-    let mut cfg = InfraConfig::default();
-    cfg.jupyter_capacity = 1;
+    let cfg = InfraConfig::builder().jupyter_capacity(1).build().unwrap();
     let infra = Infrastructure::new(cfg);
     infra.create_federated_user("alice", "pw");
     infra.story1_onboard_pi("p", "alice", 100.0).unwrap();

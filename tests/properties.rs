@@ -134,8 +134,7 @@ mod infra_invariants {
     #[test]
     fn no_seed_opens_hidden_paths() {
         for seed in [1u64, 7, 42, 1234] {
-            let mut cfg = InfraConfig::default();
-            cfg.seed = seed;
+            let cfg = InfraConfig::builder().seed(seed).build().unwrap();
             let infra = Infrastructure::new(cfg);
             for (src, dst, service, allowed) in infra.reachability_matrix() {
                 if src.starts_with("internet") && allowed {
@@ -156,7 +155,14 @@ mod infra_invariants {
         infra.create_federated_user("alice", "pw");
         infra.story1_onboard_pi("p", "alice", 10.0).unwrap();
         infra.story2_register_admin("dave").unwrap();
-        let audiences = ["ssh-ca", "jupyter", "slurm", "portal", "mgmt-tailnet", "mgmt-cluster"];
+        let audiences = [
+            "ssh-ca",
+            "jupyter",
+            "slurm",
+            "portal",
+            "mgmt-tailnet",
+            "mgmt-cluster",
+        ];
         for subject in [
             infra.subject_of("alice").unwrap(),
             infra.subject_of("dave").unwrap(),

@@ -46,7 +46,13 @@ fn event_burst_is_flagged_statistically() {
     }
     // Roll into the next bucket so the burst bucket is scored.
     infra.clock.advance_secs(120);
-    infra.emit("mdc/login01", EventKind::ConnAllowed, "", "after", Severity::Info);
+    infra.emit(
+        "mdc/login01",
+        EventKind::ConnAllowed,
+        "",
+        "after",
+        Severity::Info,
+    );
     let anomalies = infra.rate_anomalies();
     assert!(
         !anomalies.is_empty(),

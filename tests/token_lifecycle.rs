@@ -65,7 +65,10 @@ fn stolen_refresh_token_replay_is_contained() {
     // Legitimate client refreshes…
     let _ = infra.oidc.refresh("portal-web", &rt).unwrap();
     // …then a thief replays the old token: the session is revoked.
-    assert_eq!(infra.oidc.refresh("portal-web", &rt), Err(OidcError::BadCode));
+    assert_eq!(
+        infra.oidc.refresh("portal-web", &rt),
+        Err(OidcError::BadCode)
+    );
     assert!(infra.broker.session(&session_id).is_none());
     // The owner re-authenticates and continues (containment, not lockout).
     assert!(infra.federated_login("alice").is_ok());
@@ -88,7 +91,10 @@ fn token_exchange_lets_jupyter_submit_on_behalf_of_user() {
         .exchange_token(&jupyter_token, "jupyter", "slurm")
         .unwrap();
     assert_eq!(sc.subject, jc.subject);
-    assert_eq!(sc.extra_claim("act").and_then(Value::as_str), Some("jupyter"));
+    assert_eq!(
+        sc.extra_claim("act").and_then(Value::as_str),
+        Some("jupyter")
+    );
     assert!(sc.expires_at <= jc.expires_at);
     assert!(infra
         .broker
@@ -108,10 +114,16 @@ fn token_exchange_lets_jupyter_submit_on_behalf_of_user() {
 fn step_up_unlocks_official_class_work_mid_session() {
     let infra = Infrastructure::new(InfraConfig::default());
     infra.create_federated_user("alice", "pw"); // password-only IdP login
-    let outcome = infra.story1_onboard_pi("aisi-evals", "alice", 100.0).unwrap();
+    let outcome = infra
+        .story1_onboard_pi("aisi-evals", "alice", 100.0)
+        .unwrap();
     infra
         .portal
-        .set_data_class("admin:ops", &outcome.project_id, isambard_dri::portal::DataClass::Official)
+        .set_data_class(
+            "admin:ops",
+            &outcome.project_id,
+            isambard_dri::portal::DataClass::Official,
+        )
         .unwrap();
     // pwd-only: blocked by the Elevated threshold.
     assert!(infra.story4_ssh_connect("alice", "aisi-evals").is_err());
@@ -140,7 +152,9 @@ fn oidc_client_registration_is_exact_match() {
         "https://app.example/CB",
     ] {
         assert_eq!(
-            infra.oidc.authorize("new-app", bad, &challenge, &session_id),
+            infra
+                .oidc
+                .authorize("new-app", bad, &challenge, &session_id),
             Err(OidcError::RedirectMismatch),
             "{bad}"
         );
