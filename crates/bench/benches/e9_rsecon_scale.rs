@@ -43,6 +43,22 @@ fn big_config(broker_shards: usize) -> InfraConfig {
         .expect("bench config is valid")
 }
 
+/// One parallel storm with flow tracing toggled; returns flows/s.
+fn storm_throughput(n: usize, workers: usize, tracing: bool) -> f64 {
+    let config = InfraConfig::builder()
+        .jupyter_capacity(4096)
+        .interactive_nodes(4096)
+        .edge_threshold(usize::MAX / 2)
+        .tracing(tracing)
+        .build()
+        .expect("bench config is valid");
+    let infra = Infrastructure::new(config);
+    let users = storm_users(&infra, n);
+    let result = run_storm(&infra, &users, StormMode::Parallel(workers));
+    assert_eq!(result.completed, n, "failures: {:?}", result.failures);
+    result.throughput()
+}
+
 /// One storm at `n` users over `workers` threads against a fresh
 /// infrastructure with `shards` broker shards; returns (flows/s, p50,
 /// p99, steps).
@@ -100,6 +116,55 @@ fn print_report() {
     for workers in [1usize, 2, 4, 8, 16] {
         let (fps, p50, p99, _) = storm_run(256, workers, 16);
         println!("{workers:>8} {fps:>12.0} {p50:>10} {p99:>10}");
+    }
+
+    // Where does a flow spend its time? The tracer's per-stage log2
+    // histograms answer in both deterministic sim steps and wall-clock.
+    println!("\n-- per-stage latency attribution, N=45 storm, tracing on --");
+    let infra = Infrastructure::new(big_config(16));
+    let users = storm_users(&infra, 45);
+    let r = run_storm(&infra, &users, StormMode::Parallel(8));
+    assert_eq!(r.completed, 45, "failures: {:?}", r.failures);
+    println!(
+        "{:>10} {:>8} {:>11} {:>11} {:>10} {:>10}",
+        "stage", "spans", "p50(steps)", "p99(steps)", "p50(µs)", "p99(µs)"
+    );
+    for s in infra.tracer.stage_summaries() {
+        println!(
+            "{:>10} {:>8} {:>11} {:>11} {:>10} {:>10}",
+            s.stage.as_str(),
+            s.steps.count,
+            s.steps.p50,
+            s.steps.p99,
+            s.wall_us.p50,
+            s.wall_us.p99
+        );
+    }
+
+    // Tracing must be cheap enough to leave on: at N=256 the traced
+    // storm must hold >= 90% of the untraced throughput (best of 3 to
+    // damp scheduler noise; enforced only with real parallelism).
+    println!("\n-- tracing overhead guard, N=256, best of 3 --");
+    let best_of_3 = |tracing: bool| {
+        (0..3)
+            .map(|_| storm_throughput(256, 8, tracing))
+            .fold(0.0f64, f64::max)
+    };
+    let off = best_of_3(false);
+    let on = best_of_3(true);
+    let ratio = on / off.max(f64::MIN_POSITIVE);
+    println!(
+        "tracing off {off:.0} f/s, on {on:.0} f/s ({:.1}% overhead)",
+        (1.0 - ratio) * 100.0
+    );
+    if cores >= 4 {
+        assert!(
+            ratio >= 0.90,
+            "tracing overhead exceeds the 10% budget at N=256 \
+             (on {on:.0} f/s vs off {off:.0} f/s)"
+        );
+    } else {
+        println!("NOTE: <4 cores — overhead budget reported but not enforced");
     }
 }
 

@@ -87,6 +87,9 @@ pub struct SessionInfo {
     pub established_at: u64,
     /// Hard expiry (seconds) — re-authentication required after this.
     pub expires_at: u64,
+    /// Trace id (hex) of the login flow that established this session,
+    /// when it ran traced — provenance for later incident response.
+    pub trace_id: Option<String>,
 }
 
 /// Broker failures.
@@ -381,6 +384,11 @@ impl IdentityBroker {
         proxy_entity_id: &str,
         assertion_wire: &str,
     ) -> Result<SessionInfo, BrokerError> {
+        let _span = dri_trace::span_with(
+            "broker.login_federated",
+            dri_trace::Stage::Broker,
+            &[("proxy", proxy_entity_id)],
+        );
         let proxy = self
             .registry
             .lookup(proxy_entity_id)
@@ -420,6 +428,7 @@ impl IdentityBroker {
         source: IdentitySource,
         loa: LevelOfAssurance,
     ) -> Result<SessionInfo, BrokerError> {
+        let _span = dri_trace::span("broker.establish", dri_trace::Stage::Broker);
         let _coarse = self.coarse_write();
         if self.revoked_subjects.contains(&subject) {
             return Err(BrokerError::SubjectRevoked);
@@ -436,6 +445,7 @@ impl IdentityBroker {
             loa,
             established_at: now,
             expires_at: now + self.session_ttl_secs,
+            trace_id: dri_trace::current_trace_id(),
         };
         self.sessions
             .insert(session.session_id.clone(), session.clone());
@@ -460,6 +470,11 @@ impl IdentityBroker {
         audience: &str,
         extra: Vec<(String, Value)>,
     ) -> Result<(String, Claims), BrokerError> {
+        let _span = dri_trace::span_with(
+            "broker.issue_token",
+            dri_trace::Stage::Broker,
+            &[("aud", audience)],
+        );
         let _coarse = self.coarse_write();
         let now = self.clock.now_secs();
         let session = self
@@ -539,6 +554,11 @@ impl IdentityBroker {
         requesting_audience: &str,
         target_audience: &str,
     ) -> Result<(String, Claims), BrokerError> {
+        let _span = dri_trace::span_with(
+            "broker.exchange_token",
+            dri_trace::Stage::Broker,
+            &[("from", requesting_audience), ("to", target_audience)],
+        );
         let now = self.clock.now_secs();
         let claims = self
             .jwks_cache
@@ -642,6 +662,22 @@ impl IdentityBroker {
     pub fn session(&self, session_id: &str) -> Option<SessionInfo> {
         let _coarse = self.coarse_read();
         self.sessions.get_cloned(session_id)
+    }
+
+    /// Every live session of `subject`, sorted by session id for
+    /// deterministic iteration. Incident response reads these *before*
+    /// [`IdentityBroker::revoke_subject`] wipes them, e.g. to attach
+    /// the originating login's trace id to the kill-switch event.
+    pub fn sessions_of_subject(&self, subject: &str) -> Vec<SessionInfo> {
+        let _coarse = self.coarse_read();
+        let mut out = Vec::new();
+        self.sessions.for_each(|_, s| {
+            if s.subject == subject {
+                out.push(s.clone());
+            }
+        });
+        out.sort_by(|a, b| a.session_id.cmp(&b.session_id));
+        out
     }
 
     /// Total tokens issued (metrics): the sum of the per-shard counters.

@@ -147,6 +147,15 @@ impl JupyterService {
     /// Handle an authenticated spawn request arriving through the tunnel.
     /// `headers` are the forwarded HTTP headers.
     pub fn spawn(&self, headers: &[(String, String)]) -> Result<NotebookSession, JupyterError> {
+        let _span = dri_trace::span("jupyter.spawn", dri_trace::Stage::Cluster);
+        // Surface the propagated W3C context, proving the trace survived
+        // the edge -> tunnel -> spawner boundary crossings.
+        if let Some((_, tp)) = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("traceparent"))
+        {
+            dri_trace::add_attr("traceparent", tp);
+        }
         let token = headers
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case("x-auth-token"))

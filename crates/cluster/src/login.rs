@@ -158,6 +158,11 @@ impl LoginNode {
         account: &str,
         sign_challenge: impl FnOnce(&[u8]) -> [u8; 64],
     ) -> Result<ShellSession, LoginError> {
+        let _span = dri_trace::span_with(
+            "login.open_session",
+            dri_trace::Stage::Cluster,
+            &[("account", account)],
+        );
         cert.verify(&self.ca_key.load(), self.clock.now_secs(), Some(account))
             .map_err(LoginError::Cert)?;
         let project = self

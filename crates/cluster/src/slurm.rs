@@ -160,6 +160,11 @@ impl Scheduler {
         nodes: u32,
         walltime_secs: u64,
     ) -> Result<String, SubmitError> {
+        let _span = dri_trace::span_with(
+            "slurm.submit",
+            dri_trace::Stage::Cluster,
+            &[("partition", partition)],
+        );
         if nodes == 0 || walltime_secs == 0 {
             return Err(SubmitError::InvalidRequest);
         }

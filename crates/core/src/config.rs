@@ -72,6 +72,10 @@ pub struct InfraConfig {
     pub broker_shards: usize,
     /// SIEM detection thresholds.
     pub detection: DetectionConfig,
+    /// Enable flow tracing (trace-id minting, span collection, per-stage
+    /// latency histograms). On in the paper's deployment; E9 toggles it
+    /// off to measure the tracing overhead.
+    pub tracing: bool,
     /// Enable the in-progress HPC-fabric / parallel-FS encryption the
     /// paper lists as future work (§V). Off in the paper's deployment.
     pub hpc_fabric_encryption: bool,
@@ -95,6 +99,7 @@ impl Default for InfraConfig {
             edge_threshold: 50,
             broker_shards: 16,
             detection: DetectionConfig::default(),
+            tracing: true,
             hpc_fabric_encryption: false,
         }
     }
@@ -152,6 +157,12 @@ impl InfraConfigBuilder {
     /// Set the broker shard count (1 = coarse-lock baseline).
     pub fn broker_shards(mut self, shards: usize) -> Self {
         self.cfg.broker_shards = shards;
+        self
+    }
+
+    /// Toggle flow tracing (E9's overhead experiment turns it off).
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.cfg.tracing = enabled;
         self
     }
 
@@ -214,6 +225,7 @@ mod tests {
             .interactive_nodes(4096)
             .edge_threshold(usize::MAX / 2)
             .broker_shards(1)
+            .tracing(false)
             .hpc_fabric_encryption(true)
             .build()
             .unwrap();
@@ -221,6 +233,7 @@ mod tests {
         assert_eq!(c.jupyter_capacity, 4096);
         assert_eq!(c.interactive_nodes, 4096);
         assert_eq!(c.broker_shards, 1);
+        assert!(!c.tracing);
         assert!(c.hpc_fabric_encryption);
     }
 

@@ -32,6 +32,7 @@ use dri_siem::events::{EventKind, SecurityEvent, Severity};
 use dri_siem::inventory::{Inventory, Version, Vulnerability};
 use dri_siem::siem::Siem;
 use dri_sshca::ca::SshCa;
+use dri_trace::{Stage, Tracer};
 use parking_lot::{Mutex, RwLock};
 
 use crate::config::InfraConfig;
@@ -96,6 +97,9 @@ pub struct Infrastructure {
     pub mgmt: Arc<ManagementPlane>,
     /// The SIEM in SEC.
     pub siem: Arc<Siem>,
+    /// The flow-trace collector: span records plus per-stage latency
+    /// histograms for every cross-crate flow.
+    pub tracer: Arc<Tracer>,
     /// Asset inventory.
     pub inventory: Arc<Inventory>,
     /// Per-source event-rate anomaly detector (tenet 7's feedback loop).
@@ -116,6 +120,20 @@ impl Infrastructure {
     pub fn new(config: InfraConfig) -> Infrastructure {
         let clock = SimClock::starting_at(1_700_000_000_000); // arbitrary epoch
         let mut rng = SimRng::seed_from_u64(config.seed);
+
+        // Flow tracing: trace/span ids derive from the master seed, so a
+        // given seed yields byte-identical traces whether flows run
+        // serially or fanned out over threads. Wall-clock readings feed
+        // the latency histograms only — they never enter trace ids or
+        // exports.
+        let tracer = Arc::new(Tracer::new(
+            rng.next_u64(),
+            config.broker_shards,
+            clock.clone(),
+        ));
+        tracer.set_enabled(config.tracing);
+        let wall_epoch = std::time::Instant::now();
+        tracer.install_wall_clock(Arc::new(move || wall_epoch.elapsed().as_micros() as u64));
 
         // --- Federation layer -------------------------------------------------
         let registry = Arc::new(FederationRegistry::new());
@@ -379,6 +397,7 @@ impl Infrastructure {
             jupyter,
             mgmt,
             siem,
+            tracer,
             inventory,
             anomaly,
             rate_anomalies,
@@ -554,6 +573,7 @@ impl Infrastructure {
     /// the step that works *even before* authorisation exists — the
     /// broker is the layer that refuses unauthorised subjects.
     pub fn proxy_authenticate(&self, label: &str) -> Result<(String, String), FlowError> {
+        let _flow = dri_trace::flow(&self.tracer, label, "login.proxy_authenticate", Stage::Flow);
         let (idp_entity, username, password) = {
             let users = self.users.read();
             let user = users
@@ -605,6 +625,7 @@ impl Infrastructure {
 
     /// Full federated login: IdP → proxy → broker session.
     pub fn federated_login(&self, label: &str) -> Result<SessionInfo, FlowError> {
+        let _flow = dri_trace::flow(&self.tracer, label, "login.federated", Stage::Flow);
         let (_cuid, wire) = self.proxy_authenticate(label)?;
         let session = self
             .broker
@@ -625,6 +646,7 @@ impl Infrastructure {
 
     /// Login through the Identity Provider of Last Resort.
     pub fn last_resort_login(&self, label: &str) -> Result<SessionInfo, FlowError> {
+        let _flow = dri_trace::flow(&self.tracer, label, "login.last_resort", Stage::Flow);
         let (username, password) = {
             let users = self.users.read();
             let user = users
@@ -662,6 +684,7 @@ impl Infrastructure {
 
     /// Login through the administrator IdP (hardware-key ceremony).
     pub fn admin_login(&self, label: &str) -> Result<SessionInfo, FlowError> {
+        let _flow = dri_trace::flow(&self.tracer, label, "login.admin", Stage::Flow);
         let (username, password, hw_key) = {
             let users = self.users.read();
             let user = users

@@ -7,7 +7,7 @@
 //! shells, notebooks, and batch jobs.
 
 use dri_broker::authz::AuthorizationSource;
-use dri_siem::events::{EventKind, Severity};
+use dri_siem::events::{EventKind, SecurityEvent, Severity};
 
 use crate::infra::Infrastructure;
 
@@ -37,6 +37,16 @@ impl Infrastructure {
     pub fn kill_user(&self, subject: &str) -> KillReport {
         let at_ms = self.clock.now_ms();
 
+        // Provenance: capture the trace id of the login flow that created
+        // the access being severed, *before* revocation wipes the
+        // sessions — the SOC can then pull the full originating trace.
+        let origin_trace = self
+            .broker
+            .sessions_of_subject(subject)
+            .into_iter()
+            .rev()
+            .find_map(|s| s.trace_id);
+
         // Identity layer: no new sessions, introspection fails.
         self.broker.revoke_subject(subject);
         // Federation layer: suspend the community account if it is one.
@@ -52,15 +62,21 @@ impl Infrastructure {
             self.login_node.set_locked(&account, true);
         }
 
-        self.emit(
-            "sec/siem",
-            EventKind::KillSwitch,
-            subject,
-            format!(
-                "kill chain: bastion={bastion_sessions_cut} shells={shells_cut} \
-                 notebooks={notebooks_cut} jobs={jobs_cancelled}"
-            ),
-            Severity::Critical,
+        // The severed-session event carries the originating login's trace
+        // id (not whatever flow the operator happens to be in).
+        self.siem.enqueue(
+            SecurityEvent::new(
+                at_ms,
+                "sec/siem",
+                EventKind::KillSwitch,
+                subject,
+                format!(
+                    "kill chain: bastion={bastion_sessions_cut} shells={shells_cut} \
+                     notebooks={notebooks_cut} jobs={jobs_cancelled}"
+                ),
+                Severity::Critical,
+            )
+            .with_trace_id(origin_trace),
         );
         KillReport {
             subject: subject.to_string(),

@@ -4,6 +4,24 @@
 
 use crate::infra::Infrastructure;
 
+/// Per-stage latency percentiles derived from the flow tracer's log2
+/// histograms: deterministic sim-step durations alongside wall-clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Stage name (`discovery`, `broker`, `sshca`, ...).
+    pub stage: &'static str,
+    /// Spans recorded at this stage.
+    pub spans: u64,
+    /// Median span duration in sim steps.
+    pub p50_steps: u64,
+    /// 99th-percentile span duration in sim steps.
+    pub p99_steps: u64,
+    /// Median wall-clock span duration (µs).
+    pub p50_wall_us: u64,
+    /// 99th-percentile wall-clock span duration (µs).
+    pub p99_wall_us: u64,
+}
+
 /// A point-in-time operational snapshot of the whole co-design.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -46,6 +64,11 @@ pub struct MetricsSnapshot {
     pub vuln_findings: usize,
     /// PDP consultations.
     pub pdp_consultations: u64,
+    // Observability layer.
+    /// Flow traces recorded.
+    pub traces_recorded: usize,
+    /// Per-stage latency percentiles (only stages that recorded spans).
+    pub stage_latencies: Vec<StageLatency>,
 }
 
 impl Infrastructure {
@@ -69,6 +92,20 @@ impl Infrastructure {
             inventory_assets: self.inventory.asset_count(),
             vuln_findings: self.inventory.scan().len(),
             pdp_consultations: self.pdp_consultation_count(),
+            traces_recorded: self.tracer.trace_count(),
+            stage_latencies: self
+                .tracer
+                .stage_summaries()
+                .into_iter()
+                .map(|s| StageLatency {
+                    stage: s.stage.as_str(),
+                    spans: s.steps.count,
+                    p50_steps: s.steps.p50,
+                    p99_steps: s.steps.p99,
+                    p50_wall_us: s.wall_us.p50,
+                    p99_wall_us: s.wall_us.p99,
+                })
+                .collect(),
         }
     }
 }
@@ -100,6 +137,26 @@ mod tests {
         assert!(after.tokens_issued >= 2);
         assert!(after.pdp_consultations >= 2);
         assert!(after.siem_events > before.siem_events);
+        assert!(after.traces_recorded >= 3, "one trace per story flow");
+        let stages: Vec<&str> = after.stage_latencies.iter().map(|s| s.stage).collect();
+        for expected in ["discovery", "broker", "sshca", "bastion", "cluster"] {
+            assert!(stages.contains(&expected), "missing stage {expected}");
+        }
+        for s in &after.stage_latencies {
+            assert!(s.spans > 0);
+            assert!(s.p50_steps <= s.p99_steps);
+        }
+    }
+
+    #[test]
+    fn tracing_off_yields_no_stage_latencies() {
+        let cfg = InfraConfig::builder().tracing(false).build().unwrap();
+        let infra = Infrastructure::new(cfg);
+        infra.create_federated_user("alice", "pw");
+        infra.story1_onboard_pi("p", "alice", 10.0).unwrap();
+        let m = infra.metrics();
+        assert_eq!(m.traces_recorded, 0);
+        assert!(m.stage_latencies.is_empty());
     }
 
     #[test]

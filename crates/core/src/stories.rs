@@ -17,6 +17,7 @@ use dri_policy::trust::{AccessRequest, DevicePosture, Sensitivity, SourceZone};
 use dri_portal::project::{Allocation, DataClass};
 use dri_siem::events::{EventKind, Severity};
 use dri_sshca::client::SshCertClient;
+use dri_trace::Stage;
 
 use crate::flows::FlowError;
 use crate::ids::{Cuid, ProjectId, SessionId, UserLabel};
@@ -106,6 +107,7 @@ impl Infrastructure {
     ) -> Result<PiOutcome, FlowError> {
         let pi_label: UserLabel = pi_label.into();
         let pi_label = pi_label.as_str();
+        let _flow = dri_trace::flow(&self.tracer, pi_label, "story1.onboard_pi", Stage::Flow);
         let mut trace = Vec::with_capacity(8);
 
         // Allocator creates the project and the PI invitation.
@@ -160,6 +162,7 @@ impl Infrastructure {
     ) -> Result<AdminOutcome, FlowError> {
         let label: UserLabel = label.into();
         let label = label.as_str();
+        let _flow = dri_trace::flow(&self.tracer, label, "story2.register_admin", Stage::Flow);
         let mut trace = Vec::with_capacity(6);
         self.create_admin(label, &format!("{label}-initial-password"));
         trace.push("admin idp: register account + enrol hardware key");
@@ -205,6 +208,12 @@ impl Infrastructure {
         let project_id = project_id.as_str();
         let researcher_label: UserLabel = researcher_label.into();
         let researcher_label = researcher_label.as_str();
+        let _flow = dri_trace::flow(
+            &self.tracer,
+            researcher_label,
+            "story3.onboard_researcher",
+            Stage::Flow,
+        );
         let mut trace = Vec::with_capacity(8);
         let pi_subject = self
             .subject_of(pi_label)
@@ -253,6 +262,7 @@ impl Infrastructure {
     ) -> Result<SshOutcome, FlowError> {
         let label: UserLabel = label.into();
         let label = label.as_str();
+        let _flow = dri_trace::flow(&self.tracer, label, "story4.ssh_connect", Stage::Flow);
         let mut trace = Vec::with_capacity(10);
         let session_id = self.session_of(label)?;
 
@@ -356,6 +366,7 @@ impl Infrastructure {
     ) -> Result<PrivilegedOpOutcome, FlowError> {
         let label: UserLabel = label.into();
         let label = label.as_str();
+        let _flow = dri_trace::flow(&self.tracer, label, "story5.privileged_op", Stage::Flow);
         let mut trace = Vec::with_capacity(8);
         let _session = self.session_of(label)?;
 
@@ -427,6 +438,7 @@ impl Infrastructure {
     ) -> Result<JupyterOutcome, FlowError> {
         let label: UserLabel = label.into();
         let label = label.as_str();
+        let _flow = dri_trace::flow(&self.tracer, label, "story6.jupyter", Stage::Flow);
         let mut trace = Vec::with_capacity(8);
         let _ = self.session_of(label)?;
 
@@ -459,7 +471,13 @@ impl Infrastructure {
         )?;
         trace.push("broker: issue jupyter token");
 
-        // Through the edge and the reverse tunnel.
+        // Through the edge and the reverse tunnel. The W3C-style
+        // `traceparent` header carries the flow context across the HTTP
+        // hop; the authenticator surfaces it as a span attribute.
+        let mut headers = vec![("x-auth-token".to_string(), token)];
+        if let Some(ctx) = dri_trace::current_ctx() {
+            headers.push(("traceparent".to_string(), ctx.traceparent()));
+        }
         let response = self
             .edge
             .handle(
@@ -467,7 +485,7 @@ impl Infrastructure {
                 source_ip,
                 HttpRequest {
                     path: "/jupyter".into(),
-                    headers: vec![("x-auth-token".into(), token)],
+                    headers,
                     body: Vec::new(),
                 },
             )

@@ -167,6 +167,11 @@ impl IdentityProvider {
         totp: Option<u32>,
         audience: &str,
     ) -> Result<String, AuthnError> {
+        let _span = dri_trace::span_with(
+            "idp.authenticate",
+            dri_trace::Stage::Discovery,
+            &[("idp", &self.entity_id)],
+        );
         let users = self.users.read();
         let user = users.get(username).ok_or(AuthnError::UnknownUser)?;
         if !user.active {

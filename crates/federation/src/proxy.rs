@@ -164,6 +164,11 @@ impl IdpProxy {
         upstream_wire: &str,
         service_entity_id: &str,
     ) -> Result<(String, String), ProxyError> {
+        let _span = dri_trace::span_with(
+            "proxy.broker_login",
+            dri_trace::Stage::Discovery,
+            &[("idp", idp_entity_id)],
+        );
         if !self.services.read().contains_key(service_entity_id) {
             return Err(ProxyError::UnknownService(service_entity_id.to_string()));
         }

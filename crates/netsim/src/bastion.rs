@@ -125,6 +125,11 @@ impl Bastion {
         cert: &SshCertificate,
         principal: &str,
     ) -> Result<RelaySession, BastionError> {
+        let _span = dri_trace::span_with(
+            "bastion.relay",
+            dri_trace::Stage::Bastion,
+            &[("src", src), ("target", target), ("principal", principal)],
+        );
         // Pick an instance (round-robin over healthy ones).
         let instance = {
             let mut state = self.state.write();

@@ -88,6 +88,7 @@ impl EdgeProxy {
         source: &str,
         request: HttpRequest,
     ) -> Result<HttpResponse, EdgeError> {
+        let _span = dri_trace::span("edge.handle", dri_trace::Stage::Edge);
         let now = self.clock.now_ms();
         if self.down.load(Ordering::Acquire) {
             self.rejected.fetch_add(1, Ordering::Relaxed);

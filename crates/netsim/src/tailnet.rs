@@ -164,6 +164,11 @@ impl Tailnet {
 
     /// Enrol a node with an admin RBAC token. Returns the lease expiry.
     pub fn enroll(&self, node: &TailnetNode, token: &str) -> Result<u64, TailnetError> {
+        let _span = dri_trace::span_with(
+            "tailnet.enroll",
+            dri_trace::Stage::Tailnet,
+            &[("node", &node.name)],
+        );
         let now = self.clock.now_secs();
         let claims = self
             .jwks
@@ -245,6 +250,11 @@ impl Tailnet {
         to: &str,
         plaintext: &[u8],
     ) -> Result<(Vec<u8>, [u8; 12]), TailnetError> {
+        let _span = dri_trace::span_with(
+            "tailnet.send",
+            dri_trace::Stage::Tailnet,
+            &[("from", &from_node.name), ("to", to)],
+        );
         let (_from_pub, to_pub) = self.check_path(&from_node.name, to)?;
         let mut nonce = [0u8; 12];
         let mut counter = self.nonce_counter.lock();

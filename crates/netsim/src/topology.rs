@@ -231,9 +231,43 @@ impl Network {
         });
     }
 
-    /// Attempt a connection; enforced and logged.
+    /// Attempt a connection; enforced and logged. When a traced flow is
+    /// active the hop is recorded as a child span carrying the
+    /// source/destination domain and zone, so microsegmentation
+    /// crossings show up in the span tree.
     pub fn connect(&self, src: &str, dst: &str, service: &str) -> Result<(), NetError> {
+        let _span = if dri_trace::active() {
+            // Attribute lookup costs a read lock; only pay it mid-flow.
+            let state = self.state.read();
+            let zone_of = |id: &str| {
+                state
+                    .hosts
+                    .get(id)
+                    .map(|h| (h.domain.as_str(), h.zone.as_str()))
+                    .unwrap_or(("unknown", "unknown"))
+            };
+            let (src_domain, src_zone) = zone_of(src);
+            let (dst_domain, dst_zone) = zone_of(dst);
+            Some(dri_trace::span_with(
+                "net.connect",
+                dri_trace::Stage::Network,
+                &[
+                    ("src", src),
+                    ("dst", dst),
+                    ("service", service),
+                    ("src.domain", src_domain),
+                    ("src.zone", src_zone),
+                    ("dst.domain", dst_domain),
+                    ("dst.zone", dst_zone),
+                ],
+            ))
+        } else {
+            None
+        };
         let result = self.check(src, dst, service);
+        if result.is_err() {
+            dri_trace::add_attr("outcome", "denied");
+        }
         let mut state = self.state.write();
         state.log.push(ConnEvent {
             at_ms: self.clock.now_ms(),

@@ -189,6 +189,11 @@ impl TunnelServer {
     /// backend, and return the response the same way. The encryption
     /// round-trip is executed for real so a corrupted frame fails.
     pub fn handle(&self, request: HttpRequest) -> Result<HttpResponse, TunnelError> {
+        let _span = dri_trace::span_with(
+            "tunnel.handle",
+            dri_trace::Stage::Tunnel,
+            &[("path", &request.path)],
+        );
         let (key, backend) = {
             let routes = self.routes.read();
             // Longest-prefix route match.

@@ -126,6 +126,7 @@ impl Portal {
         ends_at: u64,
         pi_email: &str,
     ) -> Result<(String, Invitation), PortalError> {
+        let _span = dri_trace::span("portal.create_project", dri_trace::Stage::Portal);
         if !self.is_allocator(allocator) {
             return Err(PortalError::Forbidden);
         }
@@ -167,6 +168,7 @@ impl Portal {
         project_id: &str,
         email: &str,
     ) -> Result<Invitation, PortalError> {
+        let _span = dri_trace::span("portal.invite_researcher", dri_trace::Stage::Portal);
         let mut state = self.state.write();
         let project = state
             .projects
@@ -204,6 +206,7 @@ impl Portal {
         subject: &str,
         accept_terms: bool,
     ) -> Result<Membership, PortalError> {
+        let _span = dri_trace::span("portal.accept_invitation", dri_trace::Stage::Portal);
         if !accept_terms {
             return Err(PortalError::Invitation(InvitationError::TermsNotAccepted));
         }

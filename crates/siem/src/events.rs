@@ -59,10 +59,16 @@ pub struct SecurityEvent {
     pub detail: String,
     /// Severity assigned by the emitter.
     pub severity: Severity,
+    /// Trace id (hex) of the flow that caused this event, when the
+    /// emitter ran inside a traced flow — the SOC's join key back to
+    /// the full span tree of the originating login.
+    pub trace_id: Option<String>,
 }
 
 impl SecurityEvent {
-    /// Convenience constructor.
+    /// Convenience constructor. Stamps the calling thread's active
+    /// trace id (if any), so events emitted mid-flow correlate to the
+    /// flow for free.
     pub fn new(
         at_ms: u64,
         source: impl Into<String>,
@@ -78,7 +84,16 @@ impl SecurityEvent {
             subject: subject.into(),
             detail: detail.into(),
             severity,
+            trace_id: dri_trace::current_trace_id(),
         }
+    }
+
+    /// Override the trace correlation, for emitters that act *after*
+    /// the causing flow finished (e.g. a kill switch severing a session
+    /// established by an earlier login carries that login's trace id).
+    pub fn with_trace_id(mut self, trace_id: Option<String>) -> SecurityEvent {
+        self.trace_id = trace_id;
+        self
     }
 }
 
@@ -105,5 +120,20 @@ mod tests {
         );
         assert_eq!(e.source, "fds/broker");
         assert_eq!(e.kind, EventKind::AuthnFailure);
+        assert_eq!(e.trace_id, None, "no flow active in unit tests");
+    }
+
+    #[test]
+    fn trace_id_can_be_overridden() {
+        let e = SecurityEvent::new(
+            10,
+            "mgmt/killswitch",
+            EventKind::KillSwitch,
+            "maid-1",
+            "severed",
+            Severity::Critical,
+        )
+        .with_trace_id(Some("deadbeef".into()));
+        assert_eq!(e.trace_id.as_deref(), Some("deadbeef"));
     }
 }

@@ -130,6 +130,7 @@ impl SshCa {
         token: &str,
         user_public_key: [u8; 32],
     ) -> Result<SignedCertificate, CaError> {
+        let _span = dri_trace::span("sshca.sign_request", dri_trace::Stage::SshCa);
         let now = self.clock.now_secs();
         let claims = self
             .jwks

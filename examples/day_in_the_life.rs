@@ -9,6 +9,7 @@
 
 use isambard_dri::clock::SimRng;
 use isambard_dri::core::{InfraConfig, Infrastructure};
+use isambard_dri::trace::chrome_trace;
 use isambard_dri::workload::{build_population, run_day, DayConfig};
 
 fn main() {
@@ -71,4 +72,32 @@ fn main() {
         "  zero-trust overhead: {:.2} tokens per delivered activity",
         report.tokens_minted as f64 / (report.ssh_sessions + report.notebooks).max(1) as f64
     );
+
+    // Every flow of the day was traced; export the span record as
+    // chrome-trace JSON (load it in chrome://tracing or Perfetto). The
+    // export contains only deterministic fields, so the same seed writes
+    // the same file byte for byte.
+    let spans = infra.tracer.all_spans();
+    let out = std::path::Path::new("target").join("day_in_the_life.trace.json");
+    match std::fs::write(&out, chrome_trace(&spans)) {
+        Ok(()) => println!(
+            "\nwrote {} spans across {} flow traces to {}",
+            spans.len(),
+            infra.tracer.trace_count(),
+            out.display()
+        ),
+        Err(e) => println!("\n(could not write {}: {e})", out.display()),
+    }
+
+    println!("\nper-stage latency attribution (sim steps):");
+    println!("  {:<10} {:>7} {:>6} {:>6}", "stage", "spans", "p50", "p99");
+    for s in infra.tracer.stage_summaries() {
+        println!(
+            "  {:<10} {:>7} {:>6} {:>6}",
+            s.stage.as_str(),
+            s.steps.count,
+            s.steps.p50,
+            s.steps.p99
+        );
+    }
 }

@@ -13,7 +13,14 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== tier-1: cargo build --release =="
 cargo build --release --offline
 
+echo "== examples build =="
+cargo build --release --offline --examples
+
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline
+
+echo "== trace subsystem tests =="
+cargo test -q --offline -p dri-trace
+cargo test -q --offline -p isambard-dri --test trace_provenance
 
 echo "All checks passed."

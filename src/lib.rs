@@ -17,4 +17,5 @@ pub use dri_policy as policy;
 pub use dri_portal as portal;
 pub use dri_siem as siem;
 pub use dri_sshca as sshca;
+pub use dri_trace as trace;
 pub use dri_workload as workload;

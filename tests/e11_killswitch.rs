@@ -55,6 +55,30 @@ fn kill_user_severs_every_foothold_instantly() {
 }
 
 #[test]
+fn kill_switch_event_carries_originating_login_trace_id() {
+    let (infra, subject) = victim_with_footholds();
+    // The trace id stamped on the victim's broker session at login time
+    // is the provenance link the SOC pivots on.
+    let login_trace = infra
+        .broker
+        .sessions_of_subject(&subject)
+        .into_iter()
+        .rev()
+        .find_map(|s| s.trace_id)
+        .expect("login stamped a trace id on the session");
+
+    infra.kill_user(&subject);
+
+    let events = infra.siem.events_of_kind(EventKind::KillSwitch);
+    assert_eq!(events.len(), 1);
+    assert_eq!(
+        events[0].trace_id.as_deref(),
+        Some(login_trace.as_str()),
+        "severed-session event must cite the originating login's trace"
+    );
+}
+
+#[test]
 fn reinstatement_restores_access() {
     let (infra, subject) = victim_with_footholds();
     infra.kill_user(&subject);

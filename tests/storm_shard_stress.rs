@@ -80,8 +80,21 @@ fn per_shard_counters_match_serial_run_exactly() {
     );
 
     // The cross-shard aggregated metrics snapshot is exact: a parallel
-    // run is indistinguishable from a serial run of the same seed.
-    assert_eq!(serial_infra.metrics(), parallel_infra.metrics());
+    // run is indistinguishable from a serial run of the same seed. The
+    // only nondeterministic fields are the wall-clock stage percentiles
+    // (real elapsed time differs run to run by design); zero those
+    // before comparing — every sim-step field must match bit for bit.
+    let normalize = |mut m: isambard_dri::core::MetricsSnapshot| {
+        for s in &mut m.stage_latencies {
+            s.p50_wall_us = 0;
+            s.p99_wall_us = 0;
+        }
+        m
+    };
+    assert_eq!(
+        normalize(serial_infra.metrics()),
+        normalize(parallel_infra.metrics())
+    );
 }
 
 #[test]
