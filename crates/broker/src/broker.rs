@@ -117,6 +117,9 @@ pub enum BrokerError {
     AdminOnly,
     /// Subject has been revoked by incident response.
     SubjectRevoked,
+    /// The broker itself is unreachable (injected outage or flaky
+    /// window). Transient: callers should retry with backoff.
+    Unavailable,
 }
 
 impl std::fmt::Display for BrokerError {
@@ -133,6 +136,7 @@ impl std::fmt::Display for BrokerError {
             BrokerError::AcrMismatch => write!(f, "authentication context insufficient"),
             BrokerError::AdminOnly => write!(f, "audience restricted to admin identities"),
             BrokerError::SubjectRevoked => write!(f, "subject revoked"),
+            BrokerError::Unavailable => write!(f, "identity broker unavailable"),
         }
     }
 }
@@ -226,6 +230,7 @@ pub struct IdentityBroker {
     session_ids: IdGen,
     jti_ids: IdGen,
     key_ids: IdGen,
+    faults: dri_fault::FaultHook,
     /// Present only when `shards == 1`: reproduces the pre-sharding
     /// design, where one `RwLock<BrokerState>` was held across entire
     /// operations — including JWT signing inside `issue_token`. Session
@@ -304,8 +309,15 @@ impl IdentityBroker {
             session_ids: IdGen::new("sess"),
             jti_ids: IdGen::new("jti"),
             key_ids,
+            faults: dri_fault::FaultHook::new(),
             coarse_gate: (shards == 1).then(|| RwLock::new(())),
         }
+    }
+
+    /// Attach the shared fault plane; outages of component `broker` make
+    /// login and token issuance fail with [`BrokerError::Unavailable`].
+    pub fn install_fault_plane(&self, plane: Arc<dri_fault::FaultPlane>) {
+        self.faults.install(plane);
     }
 
     fn coarse_write(&self) -> Option<parking_lot::RwLockWriteGuard<'_, ()>> {
@@ -389,6 +401,9 @@ impl IdentityBroker {
             dri_trace::Stage::Broker,
             &[("proxy", proxy_entity_id)],
         );
+        self.faults
+            .check("broker")
+            .map_err(|_| BrokerError::Unavailable)?;
         let proxy = self
             .registry
             .lookup(proxy_entity_id)
@@ -475,6 +490,9 @@ impl IdentityBroker {
             dri_trace::Stage::Broker,
             &[("aud", audience)],
         );
+        self.faults
+            .check("broker")
+            .map_err(|_| BrokerError::Unavailable)?;
         let _coarse = self.coarse_write();
         let now = self.clock.now_secs();
         let session = self

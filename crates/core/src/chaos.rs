@@ -1,0 +1,308 @@
+//! Chaos-day drills: scripted fault-plan scenarios exercising the
+//! paper-faithful degraded modes end to end.
+//!
+//! Each drill returns a [`ChaosOutcome`] with a timeline of what
+//! happened and a list of named checks; callers (the `chaos_day`
+//! example, the failure-injection tests) assert [`ChaosOutcome::passed`]
+//! and inspect the counters. Drills are deterministic: every fault they
+//! schedule comes from a seeded [`dri_fault::FaultPlan`], and every
+//! decision the resilience layer takes is a pure function of
+//! `(seed, lane, attempt)`.
+
+use dri_fault::FaultPlan;
+use dri_netsim::bastion::BastionError;
+use dri_siem::events::{EventKind, SecurityEvent, Severity};
+
+use crate::flows::FlowError;
+use crate::infra::Infrastructure;
+
+/// Outcome of one chaos drill.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Drill name (`bastion-loss`, `idp-outage`, `killswitch-drill`).
+    pub scenario: &'static str,
+    /// Deterministic ids of the faults the drill scheduled.
+    pub fault_ids: Vec<String>,
+    /// Human-readable timeline of the drill.
+    pub timeline: Vec<String>,
+    /// Named assertions the drill evaluated.
+    pub checks: Vec<(&'static str, bool)>,
+    /// Retries performed during the drill.
+    pub retries: u64,
+    /// Breaker trips during the drill.
+    pub breaker_trips: u64,
+    /// Degraded logins during the drill.
+    pub degraded_logins: u64,
+}
+
+impl ChaosOutcome {
+    /// Did every check hold?
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|(_, ok)| *ok)
+    }
+
+    /// The names of failed checks (empty when the drill passed).
+    pub fn failures(&self) -> Vec<&'static str> {
+        self.checks
+            .iter()
+            .filter(|(_, ok)| !*ok)
+            .map(|(name, _)| *name)
+            .collect()
+    }
+}
+
+impl Infrastructure {
+    /// **Chaos day 1 — bastion loss.** Instances of the HA bastion set
+    /// are drained one by one: service stays transparent until the set
+    /// is exhausted, refuses cleanly at zero, and resumes on restore.
+    /// `label` must be an onboarded member of `project`.
+    pub fn chaos_bastion_loss(
+        &self,
+        label: &str,
+        project: &str,
+    ) -> Result<ChaosOutcome, FlowError> {
+        let before_retries = self.resilience.retries();
+        let before_trips = self.resilience.breakers().trips();
+        let before_degraded = self.resilience.degraded_logins();
+        let mut timeline = Vec::new();
+        let mut checks = Vec::new();
+
+        self.story4_ssh_connect(label, project)?;
+        timeline.push("baseline: ssh relay through the full HA set".to_string());
+
+        let instances = self.config.bastion_instances;
+        let mut transparent = true;
+        for i in 0..instances.saturating_sub(1) {
+            self.bastion.drain_instance(i).map_err(FlowError::Bastion)?;
+            let ok = self.story4_ssh_connect(label, project).is_ok();
+            transparent &= ok;
+            timeline.push(format!(
+                "drain instance {i}: relay {}",
+                if ok { "transparent" } else { "FAILED" }
+            ));
+        }
+        checks.push(("instance loss transparent until the last", transparent));
+
+        self.bastion
+            .drain_instance(instances - 1)
+            .map_err(FlowError::Bastion)?;
+        let exhausted = matches!(
+            self.story4_ssh_connect(label, project),
+            Err(FlowError::Bastion(BastionError::Unavailable))
+        );
+        timeline.push("drain last instance: relay refused".to_string());
+        checks.push(("exhausted HA set refuses cleanly", exhausted));
+
+        self.bastion
+            .restore_instance(0)
+            .map_err(FlowError::Bastion)?;
+        let recovered = self.story4_ssh_connect(label, project).is_ok();
+        timeline.push("restore one instance: service resumed".to_string());
+        checks.push(("restore resumes service", recovered));
+        for i in 1..instances {
+            let _ = self.bastion.restore_instance(i);
+        }
+
+        Ok(ChaosOutcome {
+            scenario: "bastion-loss",
+            fault_ids: Vec::new(),
+            timeline,
+            checks,
+            retries: self.resilience.retries() - before_retries,
+            breaker_trips: self.resilience.breakers().trips() - before_trips,
+            degraded_logins: self.resilience.degraded_logins() - before_degraded,
+        })
+    }
+
+    /// **Chaos day 2 — home-IdP outage.** The institutional IdP goes
+    /// dark under a scheduled fault. Logins retry, fail over to the IdP
+    /// of Last Resort (enrolled here if needed), the `idp` breaker trips
+    /// after repeated failures so later failovers are *fast*, and the
+    /// primary path recovers once the window passes and the breaker
+    /// half-opens. `label` must be an onboarded federated user.
+    pub fn chaos_idp_outage(&self, label: &str, outage_ms: u64) -> Result<ChaosOutcome, FlowError> {
+        self.enroll_last_resort_fallback(label)?;
+        let before_retries = self.resilience.retries();
+        let before_trips = self.resilience.breakers().trips();
+        let before_rejections = self.resilience.breakers().rejections();
+        let before_degraded = self.resilience.degraded_logins();
+        let mut timeline = Vec::new();
+        let mut checks = Vec::new();
+
+        let now = self.clock.now_ms();
+        let plan = FaultPlan::new(self.config.seed).outage("idp", now, now + outage_ms);
+        let fault_id = plan.fault_id(0);
+        let plane = self.install_fault_plan(plan);
+        timeline.push(format!(
+            "schedule {fault_id}: home IdP dark for {outage_ms}ms"
+        ));
+
+        // Three logins during the outage: each exhausts its retry budget
+        // against the dead IdP, then degrades. The third failure trips
+        // the per-lane breaker.
+        let mut degraded_ok = true;
+        for round in 1..=3 {
+            match self.federated_login(label) {
+                Ok(session) => {
+                    let degraded = session.subject.starts_with("last-resort:");
+                    degraded_ok &= degraded;
+                    timeline.push(format!(
+                        "login {round}: degraded to {} after retries",
+                        session.subject
+                    ));
+                }
+                Err(e) => {
+                    degraded_ok = false;
+                    timeline.push(format!("login {round}: FAILED ({e})"));
+                }
+            }
+        }
+        checks.push(("outage logins degrade to last resort", degraded_ok));
+        checks.push((
+            "faults were injected at the idp hop",
+            plane.failures_injected() > 0,
+        ));
+        checks.push((
+            "idp breaker tripped after repeated failures",
+            self.resilience.breakers().trips() > before_trips,
+        ));
+
+        // A fourth login is rejected by the open breaker without touching
+        // the IdP — and still lands on the last-resort route.
+        let fast = self.federated_login(label);
+        let fast_ok = fast
+            .as_ref()
+            .map(|s| s.subject.starts_with("last-resort:"))
+            .unwrap_or(false);
+        let rejected_fast = self.resilience.breakers().rejections() > before_rejections;
+        timeline.push("login 4: breaker open, failover without touching the IdP".to_string());
+        checks.push(("open breaker fails over fast", fast_ok && rejected_fast));
+
+        // Outage window passes, breaker cools off, the probe succeeds:
+        // primary path restored.
+        self.clock
+            .advance(outage_ms + self.resilience.breakers().config().open_ms + 1);
+        let restored = self
+            .federated_login(label)
+            .map(|s| s.subject.starts_with("maid-"))
+            .unwrap_or(false);
+        timeline.push("window passed: half-open probe, primary path restored".to_string());
+        checks.push(("primary path restored after the window", restored));
+
+        Ok(ChaosOutcome {
+            scenario: "idp-outage",
+            fault_ids: vec![fault_id],
+            timeline,
+            checks,
+            retries: self.resilience.retries() - before_retries,
+            breaker_trips: self.resilience.breakers().trips() - before_trips,
+            degraded_logins: self.resilience.degraded_logins() - before_degraded,
+        })
+    }
+
+    /// **Chaos day 3 — kill-switch drill.** With live sessions on the
+    /// books, a bastion compromise is simulated as a scheduled outage;
+    /// the kill chain severs everything the subject holds, and the
+    /// SIEM's kill event cites both the active fault id and the trace id
+    /// of the login that created the severed access. `label` must be an
+    /// onboarded member of `project`.
+    pub fn chaos_killswitch_drill(
+        &self,
+        label: &str,
+        project: &str,
+        window_ms: u64,
+    ) -> Result<ChaosOutcome, FlowError> {
+        let before_retries = self.resilience.retries();
+        let before_trips = self.resilience.breakers().trips();
+        let before_degraded = self.resilience.degraded_logins();
+        let mut timeline = Vec::new();
+        let mut checks = Vec::new();
+
+        self.federated_login(label)?;
+        self.story4_ssh_connect(label, project)?;
+        timeline.push("setup: live broker session + bastion relay + shell".to_string());
+
+        let now = self.clock.now_ms();
+        let plan = FaultPlan::new(self.config.seed).outage("bastion", now, now + window_ms);
+        let plane = self.install_fault_plan(plan);
+        let fault_id = match plane.active_outage("bastion") {
+            Some(id) => id,
+            None => {
+                checks.push(("active outage is queryable", false));
+                String::new()
+            }
+        };
+        timeline.push(format!("compromise simulated: active fault {fault_id}"));
+
+        let subject = self
+            .subject_of(label)
+            .ok_or_else(|| FlowError::NotLoggedIn(label.to_string()))?;
+        let origin_trace = self
+            .broker
+            .sessions_of_subject(&subject)
+            .into_iter()
+            .rev()
+            .find_map(|s| s.trace_id);
+        let report = self.kill_user(&subject);
+        self.siem.enqueue(
+            SecurityEvent::new(
+                self.clock.now_ms(),
+                "sec/siem",
+                EventKind::KillSwitch,
+                &subject,
+                format!(
+                    "drill: severed {} footholds under active fault {fault_id}",
+                    report.bastion_sessions_cut + report.shells_cut + report.notebooks_cut
+                ),
+                Severity::High,
+            )
+            .with_trace_id(origin_trace.clone()),
+        );
+        timeline.push(format!(
+            "kill chain: bastion={} shells={} notebooks={} jobs={}",
+            report.bastion_sessions_cut,
+            report.shells_cut,
+            report.notebooks_cut,
+            report.jobs_cancelled
+        ));
+        checks.push((
+            "kill chain severed live footholds",
+            report.bastion_sessions_cut >= 1 && report.shells_cut >= 1,
+        ));
+        checks.push(("drill cites an active fault id", !fault_id.is_empty()));
+
+        // The SOC can join the drill events back to the originating
+        // login's full trace through the SIEM's trace index.
+        let correlated = origin_trace
+            .as_ref()
+            .map(|t| {
+                self.siem
+                    .events_for_trace(t)
+                    .iter()
+                    .any(|e| e.kind == EventKind::KillSwitch && e.detail.contains(&fault_id))
+            })
+            .unwrap_or(false);
+        checks.push(("kill event joins to the originating trace", correlated));
+
+        // Stand down: reinstate the subject, disarm the plane, re-login.
+        self.reinstate_user(&subject);
+        plane.set_enabled(false);
+        let recovered = self.federated_login(label).is_ok();
+        timeline.push("stand down: subject reinstated, plane disarmed".to_string());
+        checks.push(("reinstatement restores login", recovered));
+
+        Ok(ChaosOutcome {
+            scenario: "killswitch-drill",
+            fault_ids: if fault_id.is_empty() {
+                Vec::new()
+            } else {
+                vec![fault_id]
+            },
+            timeline,
+            checks,
+            retries: self.resilience.retries() - before_retries,
+            breaker_trips: self.resilience.breakers().trips() - before_trips,
+            degraded_logins: self.resilience.degraded_logins() - before_degraded,
+        })
+    }
+}

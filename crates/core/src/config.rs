@@ -79,6 +79,11 @@ pub struct InfraConfig {
     /// Enable the in-progress HPC-fabric / parallel-FS encryption the
     /// paper lists as future work (§V). Off in the paper's deployment.
     pub hpc_fabric_encryption: bool,
+    /// Optional deterministic fault plan, installed across every
+    /// instrumented hop at assembly time (chaos days and the resilience
+    /// experiments). `None` leaves the fault plane uninstalled — the
+    /// hooks cost one relaxed load per hop.
+    pub fault_plan: Option<dri_fault::FaultPlan>,
 }
 
 impl Default for InfraConfig {
@@ -101,6 +106,7 @@ impl Default for InfraConfig {
             detection: DetectionConfig::default(),
             tracing: true,
             hpc_fabric_encryption: false,
+            fault_plan: None,
         }
     }
 }
@@ -169,6 +175,12 @@ impl InfraConfigBuilder {
     /// Toggle the future-work HPC-fabric encryption.
     pub fn hpc_fabric_encryption(mut self, enabled: bool) -> Self {
         self.cfg.hpc_fabric_encryption = enabled;
+        self
+    }
+
+    /// Install a deterministic fault plan at assembly time (chaos days).
+    pub fn fault_plan(mut self, plan: dri_fault::FaultPlan) -> Self {
+        self.cfg.fault_plan = Some(plan);
         self
     }
 

@@ -57,6 +57,9 @@ pub enum FlowError {
     PolicyDenied(String),
     /// The HTTP path returned an unexpected status.
     UnexpectedStatus(u16, String),
+    /// A circuit breaker is open for the named dependency: the call was
+    /// rejected fast without touching the (presumed unhealthy) layer.
+    CircuitOpen(String),
 }
 
 macro_rules! from_impl {
@@ -106,6 +109,7 @@ impl std::fmt::Display for FlowError {
             FlowError::Edge(e) => write!(f, "edge: {e}"),
             FlowError::PolicyDenied(r) => write!(f, "policy denied: {r}"),
             FlowError::UnexpectedStatus(s, b) => write!(f, "unexpected status {s}: {b}"),
+            FlowError::CircuitOpen(dep) => write!(f, "circuit open for {dep}: failing fast"),
         }
     }
 }

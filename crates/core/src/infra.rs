@@ -35,8 +35,11 @@ use dri_sshca::ca::SshCa;
 use dri_trace::{Stage, Tracer};
 use parking_lot::{Mutex, RwLock};
 
+use dri_fault::BreakerState;
+
 use crate::config::InfraConfig;
 use crate::flows::FlowError;
+use crate::resilience::{IdpHop, Resilience};
 use crate::users::{SimUser, UserKind};
 
 /// Entity id of the MyAccessID-style proxy.
@@ -108,6 +111,8 @@ pub struct Infrastructure {
     rate_anomalies: Arc<RwLock<Vec<RateAnomaly>>>,
     /// The policy decision point.
     pub pdp: PolicyDecisionPoint,
+    /// Retry/breaker/degraded-mode state plus the optional fault plane.
+    pub resilience: Resilience,
     /// Simulated users (client-side state lives here).
     pub users: RwLock<HashMap<String, SimUser>>,
     /// The management-plane's tailnet endpoint.
@@ -373,6 +378,36 @@ impl Infrastructure {
             }));
         }
 
+        // Resilience layer: per-(dependency, lane) circuit breakers whose
+        // transitions land in the SIEM and on the active flow's span.
+        let resilience = Resilience::new(config.seed);
+        {
+            let siem = siem.clone();
+            resilience.breakers.set_sink(Arc::new(move |t| {
+                dri_trace::add_attr("breaker.state", t.to.as_str());
+                dri_trace::add_attr("breaker.dependency", &t.dependency);
+                let severity = if t.to == BreakerState::Open {
+                    Severity::High
+                } else {
+                    Severity::Info
+                };
+                siem.enqueue(SecurityEvent::new(
+                    t.at_ms,
+                    "fds/broker",
+                    EventKind::BreakerTransition,
+                    &t.dependency,
+                    format!(
+                        "breaker {}|{}: {} -> {}",
+                        t.dependency,
+                        t.lane,
+                        t.from.as_str(),
+                        t.to.as_str()
+                    ),
+                    severity,
+                ));
+            }));
+        }
+
         let infra = Infrastructure {
             config,
             clock,
@@ -402,11 +437,15 @@ impl Infrastructure {
             anomaly,
             rate_anomalies,
             pdp: PolicyDecisionPoint::default(),
+            resilience,
             users: RwLock::new(HashMap::new()),
             mgmt_node,
             pdp_consultations: AtomicU64::new(0),
         };
         infra.bootstrap_operations_admin();
+        if let Some(plan) = infra.config.fault_plan.clone() {
+            infra.install_fault_plan(plan);
+        }
         infra
     }
 
@@ -456,6 +495,9 @@ impl Infrastructure {
                 signing_key: idp.verifying_key(),
             })
             .expect("partner idp registration");
+        if let Some(plane) = self.resilience.plane() {
+            idp.install_fault_plane(plane);
+        }
         self.partner_idps.write().push(idp);
         entity_id
     }
@@ -598,48 +640,125 @@ impl Infrastructure {
                 .cloned()
                 .ok_or_else(|| FlowError::NoSuchUser(label.to_string()))?
         };
-        // The user's authenticator app supplies the current code when
-        // their IdP has TOTP enrolled.
-        let totp = idp.current_totp(&username);
-        let assertion = idp
-            .authenticate(&username, &password, totp, PROXY_ENTITY)
-            .map_err(|e| {
+        // The IdP authentication and the proxy hop retry as one unit
+        // (the proxy consumes each assertion exactly once, so a retry
+        // needs a fresh assertion). The user's authenticator app supplies
+        // the current code when their IdP has TOTP enrolled.
+        let result = self.with_retry("idp", label, IdpHop::is_transient, || {
+            let totp = idp.current_totp(&username);
+            let assertion = idp
+                .authenticate(&username, &password, totp, PROXY_ENTITY)
+                .map_err(IdpHop::Idp)?;
+            self.proxy
+                .broker_login(&idp_entity, &assertion, BROKER_ENTITY)
+                .map_err(IdpHop::Proxy)
+        });
+        let (cuid, wire) = result.inspect_err(|e| {
+            if let FlowError::Idp(err) = e {
                 self.emit(
                     "fds/broker",
                     EventKind::AuthnFailure,
                     label,
-                    format!("idp refused: {e}"),
+                    format!("idp refused: {err}"),
                     Severity::Warning,
                 );
-                FlowError::Idp(e)
-            })?;
-        let (cuid, wire) = self
-            .proxy
-            .broker_login(&idp_entity, &assertion, BROKER_ENTITY)
-            .map_err(FlowError::Proxy)?;
+            }
+        })?;
         if let Some(user) = self.users.write().get_mut(label) {
             user.subject = Some(cuid.clone());
         }
         Ok((cuid, wire))
     }
 
-    /// Full federated login: IdP → proxy → broker session.
+    /// Full federated login: IdP → proxy → broker session. When the home
+    /// IdP (or the proxy in front of it) is unreachable — including via
+    /// an open circuit breaker — and the user holds a last-resort
+    /// fallback enrolment, the login degrades to the IdP of Last Resort
+    /// instead of failing (the paper's availability story).
     pub fn federated_login(&self, label: &str) -> Result<SessionInfo, FlowError> {
         let _flow = dri_trace::flow(&self.tracer, label, "login.federated", Stage::Flow);
+        match self.federated_login_primary(label) {
+            Ok(session) => Ok(session),
+            Err(e) if Self::identity_plane_down(&e) => self.degraded_last_resort_login(label, e),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The primary (non-degraded) federated path.
+    fn federated_login_primary(&self, label: &str) -> Result<SessionInfo, FlowError> {
         let (_cuid, wire) = self.proxy_authenticate(label)?;
         let session = self
-            .broker
-            .login_federated(PROXY_ENTITY, &wire)
-            .map_err(|e| {
-                self.emit(
-                    "fds/broker",
-                    EventKind::AuthnFailure,
-                    label,
-                    format!("broker refused: {e}"),
-                    Severity::Warning,
-                );
-                FlowError::Broker(e)
+            .with_retry(
+                "broker",
+                label,
+                |e: &dri_broker::broker::BrokerError| {
+                    matches!(e, dri_broker::broker::BrokerError::Unavailable)
+                },
+                || self.broker.login_federated(PROXY_ENTITY, &wire),
+            )
+            .inspect_err(|e| {
+                if let FlowError::Broker(err) = e {
+                    self.emit(
+                        "fds/broker",
+                        EventKind::AuthnFailure,
+                        label,
+                        format!("broker refused: {err}"),
+                        Severity::Warning,
+                    );
+                }
             })?;
+        self.finish_login(label, &session);
+        Ok(session)
+    }
+
+    /// Does this error mean the *identity discovery* plane (home IdP or
+    /// proxy) is down? Broker unavailability is excluded: the last-resort
+    /// route needs the broker too, so there is nothing to degrade to.
+    fn identity_plane_down(e: &FlowError) -> bool {
+        match e {
+            FlowError::Idp(dri_federation::idp::AuthnError::IdpUnavailable) => true,
+            FlowError::Proxy(dri_federation::proxy::ProxyError::Unavailable) => true,
+            FlowError::CircuitOpen(dep) => dep == "idp",
+            _ => false,
+        }
+    }
+
+    /// Degraded-mode login through the IdP of Last Resort, available to
+    /// federated users enrolled via
+    /// [`Infrastructure::enroll_last_resort_fallback`]. Returns the
+    /// original error when no fallback exists.
+    fn degraded_last_resort_login(
+        &self,
+        label: &str,
+        original: FlowError,
+    ) -> Result<SessionInfo, FlowError> {
+        let password = match self.resilience.fallback_passwords.read().get(label) {
+            Some(p) => p.clone(),
+            None => return Err(original),
+        };
+        let code = match self.last_resort_idp.current_totp(label) {
+            Some(c) => c,
+            None => return Err(original),
+        };
+        let login = match self.last_resort_idp.login_totp(label, &password, code) {
+            Ok(l) => l,
+            Err(_) => return Err(original),
+        };
+        let session = self
+            .broker
+            .login_managed(&login, IdentitySource::LastResort)
+            .map_err(FlowError::Broker)?;
+        dri_trace::add_attr("login.degraded", "last-resort");
+        self.resilience
+            .degraded_logins
+            .fetch_add(1, Ordering::Relaxed);
+        self.emit(
+            "fds/broker",
+            EventKind::DegradedLogin,
+            &session.subject,
+            format!("home IdP unreachable ({original}); failover to IdP of last resort"),
+            Severity::Warning,
+        );
         self.finish_login(label, &session);
         Ok(session)
     }
@@ -755,10 +874,17 @@ impl Infrastructure {
                 .clone()
                 .ok_or_else(|| FlowError::NotLoggedIn(label.to_string()))?
         };
-        let result = self
-            .broker
-            .issue_token_with_extra(&session_id, audience, extra)
-            .map_err(FlowError::Broker)?;
+        let result = self.with_retry(
+            "broker",
+            label,
+            |e: &dri_broker::broker::BrokerError| {
+                matches!(e, dri_broker::broker::BrokerError::Unavailable)
+            },
+            || {
+                self.broker
+                    .issue_token_with_extra(&session_id, audience, extra.clone())
+            },
+        )?;
         self.emit(
             "fds/broker",
             EventKind::TokenIssued,

@@ -151,10 +151,10 @@ impl Infrastructure {
                     report.bastion_sessions_cut + report.shells_cut + report.notebooks_cut
                 )
             }
-            "isolate-host" => {
-                self.network.isolate(&alert.subject);
-                format!("isolated host {}", alert.subject)
-            }
+            "isolate-host" => match self.network.isolate(&alert.subject) {
+                Ok(()) => format!("isolated host {}", alert.subject),
+                Err(e) => format!("isolation of {} failed: {e}", alert.subject),
+            },
             other => format!("no automated action for {other}"),
         }
     }

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod compliance;
 pub mod config;
 pub mod flows;
@@ -57,15 +58,18 @@ pub mod infra;
 pub mod killswitch;
 pub mod metrics;
 pub mod prelude;
+pub mod resilience;
 pub mod stories;
 pub mod users;
 
+pub use chaos::ChaosOutcome;
 pub use config::{ConfigError, InfraConfig, InfraConfigBuilder};
 pub use flows::FlowError;
 pub use ids::{Cuid, ProjectId, SessionId, UserLabel};
 pub use infra::{Infrastructure, BROKER_ENTITY, PROXY_ENTITY, UNIVERSITY_IDP};
 pub use killswitch::KillReport;
 pub use metrics::{MetricsSnapshot, StageLatency};
+pub use resilience::Resilience;
 pub use stories::{
     AdminOutcome, JupyterOutcome, PiOutcome, PrivilegedOpOutcome, ResearcherOutcome, SshOutcome,
 };

@@ -64,6 +64,17 @@ pub struct MetricsSnapshot {
     pub vuln_findings: usize,
     /// PDP consultations.
     pub pdp_consultations: u64,
+    // Resilience layer.
+    /// Retries performed across transient hops.
+    pub retries: u64,
+    /// Circuit-breaker trips (closed → open).
+    pub breaker_trips: u64,
+    /// Calls rejected fast by an open breaker.
+    pub breaker_rejections: u64,
+    /// Logins that succeeded in degraded (last-resort failover) mode.
+    pub degraded_logins: u64,
+    /// Failures injected by the fault plane (0 when no plan installed).
+    pub faults_injected: u64,
     // Observability layer.
     /// Flow traces recorded.
     pub traces_recorded: usize,
@@ -92,6 +103,11 @@ impl Infrastructure {
             inventory_assets: self.inventory.asset_count(),
             vuln_findings: self.inventory.scan().len(),
             pdp_consultations: self.pdp_consultation_count(),
+            retries: self.resilience.retries(),
+            breaker_trips: self.resilience.breakers().trips(),
+            breaker_rejections: self.resilience.breakers().rejections(),
+            degraded_logins: self.resilience.degraded_logins(),
+            faults_injected: self.resilience.faults_injected(),
             traces_recorded: self.tracer.trace_count(),
             stage_latencies: self
                 .tracer

@@ -11,12 +11,14 @@
 //! let _cuid: &Cuid = &pi.cuid;
 //! ```
 
+pub use crate::chaos::ChaosOutcome;
 pub use crate::config::{ConfigError, InfraConfig, InfraConfigBuilder};
 pub use crate::flows::FlowError;
 pub use crate::ids::{Cuid, ProjectId, SessionId, UserLabel};
 pub use crate::infra::Infrastructure;
 pub use crate::killswitch::KillReport;
 pub use crate::metrics::{MetricsSnapshot, StageLatency};
+pub use crate::resilience::Resilience;
 pub use crate::stories::{
     AdminOutcome, JupyterOutcome, PiOutcome, PrivilegedOpOutcome, ResearcherOutcome, SshOutcome,
 };

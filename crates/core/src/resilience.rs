@@ -1,0 +1,322 @@
+//! The resilience layer: bounded retries, per-dependency circuit
+//! breakers, and the fault-plane wiring across the whole co-design.
+//!
+//! [`dri_fault`] supplies the substrate (plans, backoff math, breaker
+//! state machines); this module owns the *policy*: which hops count as
+//! transient, which dependency a hop charges, and how degradation falls
+//! back (home IdP outage → IdP of last resort). Everything here is
+//! deterministic per flow lane, so serial and 8-worker runs of the same
+//! seed produce byte-identical traces and breaker timelines.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dri_fault::{BreakerConfig, CircuitBreakers, FaultPlan, FaultPlane, RetryPolicy};
+use dri_federation::idp::AuthnError;
+use dri_federation::proxy::ProxyError;
+use dri_trace::Stage;
+use parking_lot::RwLock;
+
+use crate::flows::FlowError;
+use crate::infra::Infrastructure;
+
+/// Per-infrastructure resilience state: breaker registry, retry policy,
+/// counters, and the optional installed fault plane.
+pub struct Resilience {
+    pub(crate) breakers: CircuitBreakers,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) plane: RwLock<Option<Arc<FaultPlane>>>,
+    pub(crate) seed: u64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) degraded_logins: AtomicU64,
+    /// Failures injected by fault planes replaced by a later
+    /// [`Infrastructure::install_fault_plan`] — keeps the metrics
+    /// counter cumulative across re-installs.
+    pub(crate) faults_injected_prior: AtomicU64,
+    /// Recovery credentials for federated users enrolled at the IdP of
+    /// last resort (label → password), the paper's managed fallback.
+    pub(crate) fallback_passwords: RwLock<HashMap<String, String>>,
+}
+
+impl Resilience {
+    pub(crate) fn new(seed: u64) -> Resilience {
+        Resilience {
+            breakers: CircuitBreakers::new(BreakerConfig::default()),
+            retry: RetryPolicy::default(),
+            plane: RwLock::new(None),
+            seed,
+            retries: AtomicU64::new(0),
+            degraded_logins: AtomicU64::new(0),
+            faults_injected_prior: AtomicU64::new(0),
+            fallback_passwords: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Retries performed across all hops so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Logins that succeeded in degraded (last-resort failover) mode.
+    pub fn degraded_logins(&self) -> u64 {
+        self.degraded_logins.load(Ordering::Relaxed)
+    }
+
+    /// The breaker registry (state queries, trip/rejection counters).
+    pub fn breakers(&self) -> &CircuitBreakers {
+        &self.breakers
+    }
+
+    /// The retry policy applied to transient hops.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// The installed fault plane, if any.
+    pub fn plane(&self) -> Option<Arc<FaultPlane>> {
+        self.plane.read().clone()
+    }
+
+    /// Total failures injected by every fault plane ever installed on
+    /// this infrastructure (cumulative across re-installs).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected_prior.load(Ordering::Relaxed)
+            + self.plane().map_or(0, |p| p.failures_injected())
+    }
+}
+
+impl std::fmt::Debug for Resilience {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Resilience")
+            .field("retries", &self.retries())
+            .field("degraded_logins", &self.degraded_logins())
+            .field("breaker_trips", &self.breakers.trips())
+            .field("plane", &self.plane.read().is_some())
+            .finish()
+    }
+}
+
+/// The combined IdP + proxy hop error: the two legs retry as one unit
+/// because the proxy consumes each IdP assertion exactly once, so every
+/// retry must mint a fresh assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum IdpHop {
+    /// The institutional IdP refused or was unreachable.
+    Idp(AuthnError),
+    /// The MyAccessID-style proxy refused or was unreachable.
+    Proxy(ProxyError),
+}
+
+impl IdpHop {
+    pub(crate) fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            IdpHop::Idp(AuthnError::IdpUnavailable) | IdpHop::Proxy(ProxyError::Unavailable)
+        )
+    }
+}
+
+impl From<IdpHop> for FlowError {
+    fn from(e: IdpHop) -> FlowError {
+        match e {
+            IdpHop::Idp(e) => FlowError::Idp(e),
+            IdpHop::Proxy(e) => FlowError::Proxy(e),
+        }
+    }
+}
+
+impl std::fmt::Display for IdpHop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdpHop::Idp(e) => write!(f, "{e}"),
+            IdpHop::Proxy(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// The trace stage a dependency's retry spans belong to.
+fn stage_of(dependency: &str) -> Stage {
+    match dependency {
+        "idp" | "proxy" => Stage::Discovery,
+        "broker" => Stage::Broker,
+        "sshca" => Stage::SshCa,
+        "bastion" => Stage::Bastion,
+        "edge" => Stage::Edge,
+        "tunnel" => Stage::Tunnel,
+        _ => Stage::Flow,
+    }
+}
+
+/// The SIEM source a dependency's fault events are attributed to.
+fn source_of(dependency: &str) -> &'static str {
+    match dependency {
+        "idp" | "proxy" | "broker" => "fds/broker",
+        "edge" | "tunnel" => "fds/zenith",
+        "sshca" => "fds/ssh-ca",
+        "bastion" => "sws/bastion",
+        _ => "sec/siem",
+    }
+}
+
+impl Infrastructure {
+    /// Install a fault plan across every instrumented hop (IdPs, proxy,
+    /// broker, SSH CA, bastion, edge) and arm the resilience layer's view
+    /// of it. Returns the bound plane so drills can query
+    /// [`FaultPlane::active_outage`] or disarm it with
+    /// [`FaultPlane::set_enabled`].
+    pub fn install_fault_plan(&self, plan: FaultPlan) -> Arc<FaultPlane> {
+        let plane = Arc::new(FaultPlane::new(plan, self.clock.clone()));
+        self.university_idp.install_fault_plane(plane.clone());
+        for idp in self.partner_idps.read().iter() {
+            idp.install_fault_plane(plane.clone());
+        }
+        self.proxy.install_fault_plane(plane.clone());
+        self.broker.install_fault_plane(plane.clone());
+        self.ssh_ca.install_fault_plane(plane.clone());
+        self.bastion.install_fault_plane(plane.clone());
+        self.edge.install_fault_plane(plane.clone());
+        if let Some(old) = self.resilience.plane.write().replace(plane.clone()) {
+            self.resilience
+                .faults_injected_prior
+                .fetch_add(old.failures_injected(), Ordering::Relaxed);
+        }
+        plane
+    }
+
+    /// The installed fault plane, if any.
+    pub fn fault_plane(&self) -> Option<Arc<FaultPlane>> {
+        self.resilience.plane()
+    }
+
+    /// Enrol a federated user at the IdP of Last Resort as a *fallback*
+    /// route (the paper's degraded mode for home-IdP outages): a
+    /// deterministic recovery credential plus mirrored member grants for
+    /// the `last-resort:{label}` subject, so a failover login is
+    /// authorised for the same member services.
+    pub fn enroll_last_resort_fallback(&self, label: &str) -> Result<(), FlowError> {
+        {
+            let users = self.users.read();
+            let user = users
+                .get(label)
+                .ok_or_else(|| FlowError::NoSuchUser(label.to_string()))?;
+            if !matches!(user.kind, crate::users::UserKind::Federated { .. }) {
+                return Err(FlowError::WrongIdentityKind);
+            }
+        }
+        if self
+            .resilience
+            .fallback_passwords
+            .read()
+            .contains_key(label)
+        {
+            return Ok(()); // already enrolled
+        }
+        let password = format!("recovery-{label}-{:016x}", self.resilience.seed);
+        self.last_resort_idp
+            .register_totp_user(label, &password)
+            .map_err(FlowError::ManagedIdp)?;
+        let subject = format!("last-resort:{label}");
+        for audience in crate::infra::MEMBER_AUDIENCES {
+            self.portal.grant_admin(&subject, audience, &["member"]);
+        }
+        self.resilience
+            .fallback_passwords
+            .write()
+            .insert(label.to_string(), password);
+        Ok(())
+    }
+
+    /// Run `op` under the breaker + bounded-retry discipline for
+    /// `dependency` on the calling flow's `lane`.
+    ///
+    /// * An Open breaker rejects fast with [`FlowError::CircuitOpen`].
+    /// * Transient errors (per `is_transient`) retry up to the policy's
+    ///   budget; each retry opens a deterministic `retry.backoff` span
+    ///   carrying the computed backoff — no thread ever sleeps.
+    /// * The breaker records one outcome per call: success, or failure
+    ///   only when the *final* error was transient (a refusal means the
+    ///   dependency answered and is healthy).
+    pub(crate) fn with_retry<T, E>(
+        &self,
+        dependency: &'static str,
+        lane: &str,
+        is_transient: impl Fn(&E) -> bool,
+        mut op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, FlowError>
+    where
+        FlowError: From<E>,
+        E: std::fmt::Display,
+    {
+        let res = &self.resilience;
+        if res
+            .breakers
+            .admit(dependency, lane, self.clock.now_ms())
+            .is_err()
+        {
+            dri_trace::add_attr("breaker.rejected", dependency);
+            return Err(FlowError::CircuitOpen(dependency.to_string()));
+        }
+        let mut attempt: u32 = 1;
+        loop {
+            match op() {
+                Ok(v) => {
+                    res.breakers
+                        .record(dependency, lane, self.clock.now_ms(), true);
+                    return Ok(v);
+                }
+                Err(e) => {
+                    let transient = is_transient(&e);
+                    if transient {
+                        self.emit_fault_observed(dependency, lane, &e);
+                    }
+                    if transient && res.retry.retries_left(attempt) > 0 {
+                        let backoff = res.retry.backoff_ms(
+                            res.seed,
+                            &format!("{dependency}|{lane}"),
+                            attempt,
+                        );
+                        res.retries.fetch_add(1, Ordering::Relaxed);
+                        let _span = dri_trace::span_with(
+                            "retry.backoff",
+                            stage_of(dependency),
+                            &[
+                                ("retry.dependency", dependency),
+                                ("retry.attempt", &attempt.to_string()),
+                                ("retry.backoff_ms", &backoff.to_string()),
+                            ],
+                        );
+                        attempt += 1;
+                        continue;
+                    }
+                    // Final outcome. Only a transient failure counts
+                    // against the dependency's health.
+                    res.breakers
+                        .record(dependency, lane, self.clock.now_ms(), !transient);
+                    return Err(FlowError::from(e));
+                }
+            }
+        }
+    }
+
+    /// Record an injected/observed transient fault in the SIEM, when a
+    /// fault plane is armed (real outages without a plane are reported
+    /// by their own layers).
+    fn emit_fault_observed(&self, dependency: &str, lane: &str, error: &impl std::fmt::Display) {
+        let armed = self
+            .resilience
+            .plane
+            .read()
+            .as_ref()
+            .is_some_and(|p| p.enabled());
+        if armed {
+            self.emit(
+                source_of(dependency),
+                dri_siem::events::EventKind::FaultInjected,
+                lane,
+                format!("{dependency} hop failed: {error}"),
+                dri_siem::events::Severity::Warning,
+            );
+        }
+    }
+}

@@ -478,18 +478,22 @@ impl Infrastructure {
         if let Some(ctx) = dri_trace::current_ctx() {
             headers.push(("traceparent".to_string(), ctx.traceparent()));
         }
-        let response = self
-            .edge
-            .handle(
-                &self.tunnel,
-                source_ip,
-                HttpRequest {
-                    path: "/jupyter".into(),
-                    headers,
-                    body: Vec::new(),
-                },
-            )
-            .map_err(FlowError::Edge)?;
+        let response = self.with_retry(
+            "edge",
+            label,
+            |e: &dri_netsim::edge::EdgeError| matches!(e, dri_netsim::edge::EdgeError::Down),
+            || {
+                self.edge.handle(
+                    &self.tunnel,
+                    source_ip,
+                    HttpRequest {
+                        path: "/jupyter".into(),
+                        headers: headers.clone(),
+                        body: Vec::new(),
+                    },
+                )
+            },
+        )?;
         trace.push("edge: DDoS scoring + forward");
         trace.push("zenith: encrypted reverse tunnel to authenticator");
 

@@ -1,0 +1,88 @@
+//! The per-component attachment point for the fault plane.
+//!
+//! Substrate components embed a [`FaultHook`] (default = no plane, zero
+//! behaviour change) and consult it at the top of their instrumented
+//! hops. dri-core installs one shared [`FaultPlane`] into every hook
+//! after assembly, so a single plan drives the whole co-design.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::plan::{FaultPlane, InjectedFault};
+
+/// A late-installed, optional pointer to the shared fault plane.
+#[derive(Default)]
+pub struct FaultHook {
+    slot: RwLock<Option<Arc<FaultPlane>>>,
+}
+
+impl FaultHook {
+    /// An empty hook (no plane installed; [`check`](FaultHook::check) is
+    /// a read-lock + `None` test).
+    pub fn new() -> FaultHook {
+        FaultHook::default()
+    }
+
+    /// Install (or replace) the plane.
+    pub fn install(&self, plane: Arc<FaultPlane>) {
+        *self.slot.write() = Some(plane);
+    }
+
+    /// Remove the plane.
+    pub fn clear(&self) {
+        *self.slot.write() = None;
+    }
+
+    /// The installed plane, if any.
+    pub fn plane(&self) -> Option<Arc<FaultPlane>> {
+        self.slot.read().clone()
+    }
+
+    /// Consult the plane for a hop of `component`. `Ok(())` when no
+    /// plane is installed.
+    pub fn check(&self, component: &str) -> Result<(), InjectedFault> {
+        match self.slot.read().as_ref() {
+            Some(plane) => plane.apply(component),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultHook")
+            .field("installed", &self.slot.read().is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+    use dri_clock::SimClock;
+
+    #[test]
+    fn empty_hook_is_transparent() {
+        let hook = FaultHook::new();
+        assert!(hook.check("broker").is_ok());
+        assert!(hook.plane().is_none());
+    }
+
+    #[test]
+    fn installed_plane_is_consulted_and_clearable() {
+        let hook = FaultHook::new();
+        let clock = SimClock::new();
+        clock.advance(10);
+        let plane = Arc::new(FaultPlane::new(
+            FaultPlan::new(1).outage("broker", 0, 1_000),
+            clock,
+        ));
+        hook.install(plane);
+        assert!(hook.check("broker").is_err());
+        assert!(hook.check("edge").is_ok());
+        hook.clear();
+        assert!(hook.check("broker").is_ok());
+    }
+}

@@ -46,6 +46,9 @@ pub enum AuthnError {
     BadSecondFactor,
     /// The user is deprovisioned (left the organisation).
     Deprovisioned,
+    /// The IdP itself is unreachable (injected outage or flaky window).
+    /// Transient: retry, or fail over to the IdP of last resort.
+    IdpUnavailable,
 }
 
 impl std::fmt::Display for AuthnError {
@@ -55,6 +58,7 @@ impl std::fmt::Display for AuthnError {
             AuthnError::BadPassword => "bad password",
             AuthnError::BadSecondFactor => "bad second factor",
             AuthnError::Deprovisioned => "user deprovisioned",
+            AuthnError::IdpUnavailable => "identity provider unavailable",
         };
         f.write_str(s)
     }
@@ -74,6 +78,7 @@ pub struct IdentityProvider {
     clock: SimClock,
     users: RwLock<HashMap<String, UserRecord>>,
     assertion_counter: RwLock<u64>,
+    faults: dri_fault::FaultHook,
 }
 
 impl IdentityProvider {
@@ -93,7 +98,16 @@ impl IdentityProvider {
             clock,
             users: RwLock::new(HashMap::new()),
             assertion_counter: RwLock::new(0),
+            faults: dri_fault::FaultHook::new(),
         }
+    }
+
+    /// Attach the shared fault plane; outages of component
+    /// `idp:{entity_id}` (or the bare `idp` category) make
+    /// [`authenticate`](IdentityProvider::authenticate) fail with
+    /// [`AuthnError::IdpUnavailable`].
+    pub fn install_fault_plane(&self, plane: std::sync::Arc<dri_fault::FaultPlane>) {
+        self.faults.install(plane);
     }
 
     /// The public key that belongs in federation metadata.
@@ -172,6 +186,9 @@ impl IdentityProvider {
             dri_trace::Stage::Discovery,
             &[("idp", &self.entity_id)],
         );
+        self.faults
+            .check(&format!("idp:{}", self.entity_id))
+            .map_err(|_| AuthnError::IdpUnavailable)?;
         let users = self.users.read();
         let user = users.get(username).ok_or(AuthnError::UnknownUser)?;
         if !user.active {

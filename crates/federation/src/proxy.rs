@@ -74,6 +74,9 @@ pub enum ProxyError {
     UnknownAccount,
     /// Replay of an assertion id we have already consumed.
     Replay,
+    /// The proxy itself is unreachable (injected outage or flaky
+    /// window). Transient: callers should retry with backoff.
+    Unavailable,
 }
 
 impl std::fmt::Display for ProxyError {
@@ -86,6 +89,7 @@ impl std::fmt::Display for ProxyError {
             ProxyError::Suspended => write!(f, "account suspended"),
             ProxyError::UnknownAccount => write!(f, "unknown account"),
             ProxyError::Replay => write!(f, "assertion replay detected"),
+            ProxyError::Unavailable => write!(f, "identity proxy unavailable"),
         }
     }
 }
@@ -105,6 +109,7 @@ pub struct IdpProxy {
     identity_index: RwLock<HashMap<(String, String), String>>, // (idp, sub) -> cuid
     consumed_assertions: RwLock<std::collections::HashSet<String>>,
     ids: IdGen,
+    faults: dri_fault::FaultHook,
 }
 
 impl IdpProxy {
@@ -125,7 +130,15 @@ impl IdpProxy {
             identity_index: RwLock::new(HashMap::new()),
             consumed_assertions: RwLock::new(std::collections::HashSet::new()),
             ids: IdGen::new("maid"),
+            faults: dri_fault::FaultHook::new(),
         }
+    }
+
+    /// Attach the shared fault plane; outages of component `proxy` make
+    /// [`broker_login`](IdpProxy::broker_login) fail with
+    /// [`ProxyError::Unavailable`].
+    pub fn install_fault_plane(&self, plane: std::sync::Arc<dri_fault::FaultPlane>) {
+        self.faults.install(plane);
     }
 
     /// The proxy's assertion-signing public key.
@@ -169,6 +182,9 @@ impl IdpProxy {
             dri_trace::Stage::Discovery,
             &[("idp", idp_entity_id)],
         );
+        self.faults
+            .check("proxy")
+            .map_err(|_| ProxyError::Unavailable)?;
         if !self.services.read().contains_key(service_entity_id) {
             return Err(ProxyError::UnknownService(service_entity_id.to_string()));
         }

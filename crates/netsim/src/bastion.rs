@@ -32,6 +32,8 @@ pub enum BastionError {
     UserBlocked,
     /// No such session.
     UnknownSession,
+    /// No such load-balanced instance (drain/restore out of range).
+    UnknownInstance(usize),
 }
 
 impl std::fmt::Display for BastionError {
@@ -42,6 +44,7 @@ impl std::fmt::Display for BastionError {
             BastionError::Cert(e) => write!(f, "certificate rejected: {e}"),
             BastionError::UserBlocked => write!(f, "user blocked by kill switch"),
             BastionError::UnknownSession => write!(f, "unknown session"),
+            BastionError::UnknownInstance(i) => write!(f, "no bastion instance {i}"),
         }
     }
 }
@@ -82,6 +85,7 @@ pub struct Bastion {
     ca_key: RwLock<VerifyingKey>,
     state: RwLock<BastionState>,
     ids: IdGen,
+    faults: dri_fault::FaultHook,
 }
 
 impl Bastion {
@@ -106,7 +110,16 @@ impl Bastion {
                 next_instance: 0,
             }),
             ids: IdGen::new("relay"),
+            faults: dri_fault::FaultHook::new(),
         }
+    }
+
+    /// Attach the shared fault plane; outages of component `bastion`
+    /// make [`relay`](Bastion::relay) fail with
+    /// [`BastionError::Unavailable`], exactly as if every instance were
+    /// drained.
+    pub fn install_fault_plane(&self, plane: std::sync::Arc<dri_fault::FaultPlane>) {
+        self.faults.install(plane);
     }
 
     /// Update the trusted CA key (CA rotation).
@@ -130,6 +143,9 @@ impl Bastion {
             dri_trace::Stage::Bastion,
             &[("src", src), ("target", target), ("principal", principal)],
         );
+        self.faults
+            .check("bastion")
+            .map_err(|_| BastionError::Unavailable)?;
         // Pick an instance (round-robin over healthy ones).
         let instance = {
             let mut state = self.state.write();
@@ -222,17 +238,28 @@ impl Bastion {
         self.state.write().global_kill = false;
     }
 
-    /// Drain an instance for patching (stops new sessions landing on it).
-    pub fn drain_instance(&self, idx: usize) {
-        if let Some(h) = self.state.write().instance_healthy.get_mut(idx) {
-            *h = false;
+    /// Drain an instance for patching (stops new sessions landing on
+    /// it). Fails on an out-of-range index rather than silently doing
+    /// nothing — an ops runbook targeting a phantom instance is a bug.
+    pub fn drain_instance(&self, idx: usize) -> Result<(), BastionError> {
+        match self.state.write().instance_healthy.get_mut(idx) {
+            Some(h) => {
+                *h = false;
+                Ok(())
+            }
+            None => Err(BastionError::UnknownInstance(idx)),
         }
     }
 
-    /// Return a drained instance to service.
-    pub fn restore_instance(&self, idx: usize) {
-        if let Some(h) = self.state.write().instance_healthy.get_mut(idx) {
-            *h = true;
+    /// Return a drained instance to service. Fails on an out-of-range
+    /// index, like [`drain_instance`](Bastion::drain_instance).
+    pub fn restore_instance(&self, idx: usize) -> Result<(), BastionError> {
+        match self.state.write().instance_healthy.get_mut(idx) {
+            Some(h) => {
+                *h = true;
+                Ok(())
+            }
+            None => Err(BastionError::UnknownInstance(idx)),
         }
     }
 
@@ -414,18 +441,18 @@ mod tests {
         assert_eq!(f.bastion.healthy_instances(), 3);
         // Drain instances one at a time; service stays available.
         for i in 0..3 {
-            f.bastion.drain_instance(i);
+            f.bastion.drain_instance(i).unwrap();
             assert!(
                 f.bastion
                     .relay(&f.net, "internet/laptop", "mdc/login01", &c, "u123")
                     .is_ok(),
                 "available while instance {i} is patched"
             );
-            f.bastion.restore_instance(i);
+            f.bastion.restore_instance(i).unwrap();
         }
         // Draining everything takes the service down.
         for i in 0..3 {
-            f.bastion.drain_instance(i);
+            f.bastion.drain_instance(i).unwrap();
         }
         assert_eq!(
             f.bastion

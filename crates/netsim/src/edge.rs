@@ -61,6 +61,7 @@ pub struct EdgeProxy {
     down: AtomicBool,
     served: AtomicU64,
     rejected: AtomicU64,
+    faults: dri_fault::FaultHook,
 }
 
 impl EdgeProxy {
@@ -77,7 +78,15 @@ impl EdgeProxy {
             down: AtomicBool::new(false),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            faults: dri_fault::FaultHook::new(),
         }
+    }
+
+    /// Attach the shared fault plane; outages of component `edge` make
+    /// [`handle`](EdgeProxy::handle) fail with [`EdgeError::Down`], as
+    /// if the maintenance kill switch were on.
+    pub fn install_fault_plane(&self, plane: std::sync::Arc<dri_fault::FaultPlane>) {
+        self.faults.install(plane);
     }
 
     /// Handle a request from `source` (an IP-like identifier), forwarding
@@ -89,6 +98,10 @@ impl EdgeProxy {
         request: HttpRequest,
     ) -> Result<HttpResponse, EdgeError> {
         let _span = dri_trace::span("edge.handle", dri_trace::Stage::Edge);
+        if self.faults.check("edge").is_err() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(EdgeError::Down);
+        }
         let now = self.clock.now_ms();
         if self.down.load(Ordering::Acquire) {
             self.rejected.fetch_add(1, Ordering::Relaxed);

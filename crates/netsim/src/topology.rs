@@ -138,6 +138,8 @@ pub enum NetError {
     Denied,
     /// The destination host is administratively isolated (kill switch).
     Isolated,
+    /// Isolation targeted a host that does not exist in the fabric.
+    UnknownHost,
 }
 
 impl std::fmt::Display for NetError {
@@ -148,6 +150,7 @@ impl std::fmt::Display for NetError {
             NetError::ServiceNotExposed => "service not exposed on destination",
             NetError::Denied => "denied by segmentation policy",
             NetError::Isolated => "destination isolated by kill switch",
+            NetError::UnknownHost => "no such host in fabric",
         };
         f.write_str(s)
     }
@@ -304,14 +307,27 @@ impl Network {
     }
 
     /// Administratively isolate a host (kill switch). Existing and new
-    /// connections involving it fail.
-    pub fn isolate(&self, host: &str) {
-        self.state.write().isolated.insert(host.to_string());
+    /// connections involving it fail. Isolating a host that was never
+    /// added is an error — a typo in an incident runbook must not look
+    /// like a successful containment.
+    pub fn isolate(&self, host: &str) -> Result<(), NetError> {
+        let mut state = self.state.write();
+        if !state.hosts.contains_key(host) {
+            return Err(NetError::UnknownHost);
+        }
+        state.isolated.insert(host.to_string());
+        Ok(())
     }
 
-    /// Lift isolation.
-    pub fn deisolate(&self, host: &str) {
-        self.state.write().isolated.remove(host);
+    /// Lift isolation. Errors on unknown hosts, like
+    /// [`isolate`](Network::isolate).
+    pub fn deisolate(&self, host: &str) -> Result<(), NetError> {
+        let mut state = self.state.write();
+        if !state.hosts.contains_key(host) {
+            return Err(NetError::UnknownHost);
+        }
+        state.isolated.remove(host);
+        Ok(())
     }
 
     /// Mark a host compromised (experiments only — the fabric itself does
@@ -424,7 +440,7 @@ mod tests {
     fn kill_switch_isolates_host() {
         let net = fabric();
         assert!(net.connect("internet/laptop", "sws/bastion", "ssh").is_ok());
-        net.isolate("sws/bastion");
+        net.isolate("sws/bastion").unwrap();
         assert_eq!(
             net.connect("internet/laptop", "sws/bastion", "ssh"),
             Err(NetError::Isolated)
@@ -434,8 +450,11 @@ mod tests {
             net.connect("sws/bastion", "mdc/login01", "ssh"),
             Err(NetError::Isolated)
         );
-        net.deisolate("sws/bastion");
+        net.deisolate("sws/bastion").unwrap();
         assert!(net.connect("internet/laptop", "sws/bastion", "ssh").is_ok());
+        // Targeting a host that does not exist is refused, not ignored.
+        assert_eq!(net.isolate("sws/ghost"), Err(NetError::UnknownHost));
+        assert_eq!(net.deisolate("sws/ghost"), Err(NetError::UnknownHost));
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub enum EventKind {
     NotebookSpawned,
     /// Kill switch activated.
     KillSwitch,
+    /// A circuit breaker changed state (closed/open/half-open).
+    BreakerTransition,
+    /// A login succeeded in degraded mode (IdP-of-last-resort failover).
+    DegradedLogin,
+    /// The fault plane injected a failure into a hop.
+    FaultInjected,
 }
 
 /// One event in the pipeline.

@@ -95,6 +95,23 @@ struct SiemState {
     /// Per (rule, subject): suppress duplicate alerts until window rolls.
     alerted: HashMap<(&'static str, String), u64>,
     events_ingested: u64,
+    /// Trace-id (hex) -> indices into `events`, maintained at drain
+    /// time so pulling a flow's events is a lookup, not a scan.
+    trace_index: HashMap<String, Vec<usize>>,
+}
+
+impl SiemState {
+    /// Store an event, keeping the trace-correlation index in step.
+    fn store(&mut self, event: &SecurityEvent) {
+        if let Some(tid) = &event.trace_id {
+            self.trace_index
+                .entry(tid.clone())
+                .or_default()
+                .push(self.events.len());
+        }
+        self.events.push(event.clone());
+        self.events_ingested += 1;
+    }
 }
 
 /// The SIEM service (runs in SEC).
@@ -266,14 +283,12 @@ impl Siem {
                 "notify-user",
             ),
             _ => {
-                state.events.push(event.clone());
-                state.events_ingested += 1;
+                state.store(event);
                 return None;
             }
         };
 
-        state.events.push(event.clone());
-        state.events_ingested += 1;
+        state.store(event);
 
         let win = state.windows.entry((rule, key.clone())).or_default();
         while win
@@ -336,6 +351,25 @@ impl Siem {
     pub fn event_count(&self) -> usize {
         self.flush();
         self.state.read().events.len()
+    }
+
+    /// Every stored event correlated to `trace_id`, in ingest order —
+    /// an index lookup (O(events-of-this-trace)), not a scan of the
+    /// whole store. This is how `respond_to_alert` pulls the full
+    /// originating flow. Drains the queue first.
+    pub fn events_for_trace(&self, trace_id: &str) -> Vec<SecurityEvent> {
+        self.flush();
+        let state = self.state.read();
+        match state.trace_index.get(trace_id) {
+            Some(indices) => indices.iter().map(|&i| state.events[i].clone()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of distinct trace ids in the correlation index.
+    pub fn indexed_trace_count(&self) -> usize {
+        self.flush();
+        self.state.read().trace_index.len()
     }
 }
 
@@ -571,6 +605,26 @@ mod tests {
             siem.events_ingested(),
             (super::INGEST_QUEUE_CAP + 100) as u64
         );
+    }
+
+    #[test]
+    fn trace_index_joins_events_without_a_scan() {
+        let (siem, clock) = siem();
+        clock.advance(10);
+        let at = clock.now_ms();
+        // Two flows interleaved, plus an uncorrelated event.
+        for i in 0..3u64 {
+            siem.enqueue(failure(at + i, "maid-1").with_trace_id(Some("aaaa0001".into())));
+            siem.enqueue(failure(at + i, "maid-2").with_trace_id(Some("bbbb0002".into())));
+        }
+        siem.enqueue(failure(at + 9, "maid-3"));
+        let flow_a = siem.events_for_trace("aaaa0001");
+        assert_eq!(flow_a.len(), 3);
+        assert!(flow_a.iter().all(|e| e.subject == "maid-1"));
+        assert!(flow_a.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert_eq!(siem.events_for_trace("bbbb0002").len(), 3);
+        assert!(siem.events_for_trace("none").is_empty());
+        assert_eq!(siem.indexed_trace_count(), 2);
     }
 
     #[test]

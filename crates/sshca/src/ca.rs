@@ -33,6 +33,10 @@ pub enum CaError {
     NoPrincipals,
     /// Broker introspection says the token was revoked.
     TokenRevoked,
+    /// The CA itself is unreachable (injected outage or flaky window).
+    /// Already-issued certificates stay valid until their TTL — only
+    /// *new* issuance fails closed.
+    Unavailable,
 }
 
 impl std::fmt::Display for CaError {
@@ -42,6 +46,7 @@ impl std::fmt::Display for CaError {
             CaError::RoleMissing => write!(f, "token carries no usable role"),
             CaError::NoPrincipals => write!(f, "no project accounts to certify"),
             CaError::TokenRevoked => write!(f, "token revoked"),
+            CaError::Unavailable => write!(f, "SSH CA unavailable"),
         }
     }
 }
@@ -72,6 +77,7 @@ pub struct SshCa {
     serial: AtomicU64,
     /// Optional revocation check callback into the broker.
     introspect: Option<IntrospectFn>,
+    faults: dri_fault::FaultHook,
 }
 
 impl SshCa {
@@ -92,7 +98,16 @@ impl SshCa {
             cert_ttl_secs,
             serial: AtomicU64::new(0),
             introspect: None,
+            faults: dri_fault::FaultHook::new(),
         }
+    }
+
+    /// Attach the shared fault plane; outages of component `sshca` make
+    /// [`sign_request`](SshCa::sign_request) fail closed with
+    /// [`CaError::Unavailable`] while leaving issued certificates valid
+    /// until TTL (validation is offline against the CA public key).
+    pub fn install_fault_plane(&self, plane: Arc<dri_fault::FaultPlane>) {
+        self.faults.install(plane);
     }
 
     /// Attach a token-introspection callback (typically
@@ -131,6 +146,9 @@ impl SshCa {
         user_public_key: [u8; 32],
     ) -> Result<SignedCertificate, CaError> {
         let _span = dri_trace::span("sshca.sign_request", dri_trace::Stage::SshCa);
+        self.faults
+            .check("sshca")
+            .map_err(|_| CaError::Unavailable)?;
         let now = self.clock.now_secs();
         let claims = self
             .jwks

@@ -178,6 +178,12 @@ pub struct Tracer {
     stages: Vec<StagePair>,
     clock: SimClock,
     wall: RwLock<Option<Arc<WallClockFn>>>,
+    /// Tail-sampling knob: keep 1 in N ordinary flows (0 or 1 = keep
+    /// everything). Flows carrying a denial, error, or injected-fault
+    /// marker are always retained regardless.
+    tail_keep_1_in: AtomicU64,
+    tail_retained: AtomicU64,
+    tail_sampled_out: AtomicU64,
 }
 
 impl Tracer {
@@ -201,6 +207,9 @@ impl Tracer {
                 .collect(),
             clock,
             wall: RwLock::new(None),
+            tail_keep_1_in: AtomicU64::new(0),
+            tail_retained: AtomicU64::new(0),
+            tail_sampled_out: AtomicU64::new(0),
         }
     }
 
@@ -238,11 +247,60 @@ impl Tracer {
 
     /// Flush one finished flow into the collector and the stage
     /// histograms. Called once per flow, from the root guard's drop.
+    /// Stage histograms always see the flow; the span store only keeps
+    /// it if tail sampling says so.
     fn flush(&self, trace_id: TraceId, done: Vec<SpanRecord>) {
         for span in &done {
             self.record_stage(span.stage, span.steps(), span.wall_us);
         }
+        if !self.tail_keep(&trace_id, &done) {
+            self.tail_sampled_out.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.tail_retained.fetch_add(1, Ordering::Relaxed);
         self.spans.insert(trace_id.to_hex(), done);
+    }
+
+    /// Tail-based sampling decision, made with the *whole* flow in
+    /// hand: flows that ended in a denial, an error, or an injected
+    /// fault are always retained — those are exactly the traces the SOC
+    /// will ask for. Ordinary flows are kept 1-in-N by a deterministic
+    /// function of the trace id, so the retained set is identical for
+    /// serial and parallel runs.
+    fn tail_keep(&self, trace_id: &TraceId, done: &[SpanRecord]) -> bool {
+        let n = self.tail_keep_1_in.load(Ordering::Acquire);
+        if n <= 1 {
+            return true;
+        }
+        let must_keep = done.iter().any(|s| {
+            s.attrs.iter().any(|(k, v)| {
+                k == "error" || k == "fault.injected" || (k == "outcome" && v == "denied")
+            })
+        });
+        must_keep || trace_id.low64().is_multiple_of(n)
+    }
+
+    /// Set tail sampling to keep 1 ordinary flow in `n` (`0` or `1`
+    /// restores keep-everything). Denied/errored/faulted flows are
+    /// retained regardless of `n`.
+    pub fn set_tail_sampling(&self, n: u64) {
+        self.tail_keep_1_in.store(n, Ordering::Release);
+    }
+
+    /// Current tail-sampling divisor (0 = keep everything).
+    pub fn tail_sampling(&self) -> u64 {
+        self.tail_keep_1_in.load(Ordering::Acquire)
+    }
+
+    /// Flows retained by the tail sampler (== flows collected).
+    pub fn tail_retained(&self) -> u64 {
+        self.tail_retained.load(Ordering::Relaxed)
+    }
+
+    /// Flows whose spans were dropped by tail sampling (their latency
+    /// samples still reached the stage histograms).
+    pub fn tail_sampled_out(&self) -> u64 {
+        self.tail_sampled_out.load(Ordering::Relaxed)
     }
 
     /// Record one latency sample for `stage`.
@@ -713,6 +771,46 @@ mod tests {
         assert_eq!(summaries[1].steps.count, 1);
         // The span opened and closed with one nested step pair: 2 steps.
         assert!(summaries[1].steps.p50 >= 1);
+    }
+
+    #[test]
+    fn tail_sampling_drops_ordinary_flows_but_keeps_denials() {
+        let t = test_tracer();
+        // Keep (almost) nothing ordinary.
+        t.set_tail_sampling(u64::MAX);
+        for i in 0..16 {
+            let user = format!("ok-{i}");
+            let _f = flow(&t, &user, "login", Stage::Flow);
+            let _s = span("broker.establish", Stage::Broker);
+        }
+        // A flow that ends denied must survive sampling.
+        {
+            let _f = flow(&t, "mallory", "login", Stage::Flow);
+            let _s = span("net.connect", Stage::Network);
+            add_attr("outcome", "denied");
+        }
+        // So must one carrying an injected fault.
+        {
+            let _f = flow(&t, "chaos", "login", Stage::Flow);
+            let _s = span("idp.authenticate", Stage::Discovery);
+            add_attr("fault.injected", "fault-00deadbeef");
+        }
+        let spans = t.all_spans();
+        let kept: std::collections::HashSet<_> =
+            spans.iter().map(|s| s.trace_id.to_hex()).collect();
+        assert_eq!(kept.len(), 2, "only the denial and the fault survive");
+        assert_eq!(t.tail_retained(), 2);
+        assert_eq!(t.tail_sampled_out(), 16);
+        // Histograms saw every flow, sampled out or not.
+        let flow_summary = &t.stage_summaries()[0];
+        assert_eq!(flow_summary.stage, Stage::Flow);
+        assert_eq!(flow_summary.steps.count, 18);
+        // Keep-all restores full collection.
+        t.set_tail_sampling(0);
+        {
+            let _f = flow(&t, "alice", "login", Stage::Flow);
+        }
+        assert_eq!(t.tail_retained(), 3);
     }
 
     #[test]

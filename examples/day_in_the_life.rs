@@ -100,4 +100,65 @@ fn main() {
             s.steps.p99
         );
     }
+
+    // Chaos-day epilogue: the three scripted resilience drills run
+    // against the *aged* infrastructure the day produced, and the trace
+    // record must carry the resilience markers afterwards.
+    println!("\n== chaos day ==");
+    let pi = population.projects[0].pi_label.clone();
+    let project = population.projects[0].name.clone();
+    // The day outlived the 4h session TTL; the drills start from a
+    // fresh login like any returning user would.
+    infra.federated_login(&pi).expect("re-login");
+    for outcome in [
+        infra
+            .chaos_bastion_loss(&pi, &project)
+            .expect("bastion drill"),
+        infra.chaos_idp_outage(&pi, 60_000).expect("idp drill"),
+        infra
+            .chaos_killswitch_drill(&pi, &project, 60_000)
+            .expect("killswitch drill"),
+    ] {
+        assert!(
+            outcome.passed(),
+            "{}: failed checks {:?}",
+            outcome.scenario,
+            outcome.failures()
+        );
+        println!(
+            "  {:<17} PASS  (retries={} trips={} degraded={} faults={:?})",
+            outcome.scenario,
+            outcome.retries,
+            outcome.breaker_trips,
+            outcome.degraded_logins,
+            outcome.fault_ids
+        );
+    }
+    let spans = infra.tracer.all_spans();
+    for (what, ok) in [
+        (
+            "retry.backoff",
+            spans.iter().any(|s| s.name == "retry.backoff"),
+        ),
+        (
+            "fault.injected",
+            spans
+                .iter()
+                .any(|s| s.attrs.iter().any(|(k, _)| k == "fault.injected")),
+        ),
+        (
+            "login.degraded",
+            spans
+                .iter()
+                .any(|s| s.attrs.iter().any(|(k, _)| k == "login.degraded")),
+        ),
+    ] {
+        assert!(ok, "chrome-trace shape is missing {what} markers");
+        println!("  trace shape: {what} present");
+    }
+    let m = infra.metrics();
+    println!(
+        "  resilience counters: retries={} breaker_trips={} rejections={} degraded_logins={} faults_injected={}",
+        m.retries, m.breaker_trips, m.breaker_rejections, m.degraded_logins, m.faults_injected
+    );
 }

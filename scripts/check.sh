@@ -23,4 +23,12 @@ echo "== trace subsystem tests =="
 cargo test -q --offline -p dri-trace
 cargo test -q --offline -p isambard-dri --test trace_provenance
 
+echo "== resilience: fault plane + breaker determinism =="
+cargo test -q --offline -p dri-fault
+cargo test -q --offline -p isambard-dri --test failure_injection
+cargo test -q --offline -p isambard-dri --test chaos_determinism
+
+echo "== chaos day (drills, trace shape, fault-plane overhead guard) =="
+cargo run --release --offline --example chaos_day
+
 echo "All checks passed."

@@ -11,6 +11,7 @@ pub use dri_clock as clock;
 pub use dri_cluster as cluster;
 pub use dri_core as core;
 pub use dri_crypto as crypto;
+pub use dri_fault as fault;
 pub use dri_federation as federation;
 pub use dri_netsim as netsim;
 pub use dri_policy as policy;

@@ -1,0 +1,120 @@
+//! Determinism of the fault plane over the assembled co-design: the
+//! same seed and fault plan yield *byte-identical* trace exports and
+//! identical resilience counters whether the storm runs serially or
+//! fanned out over eight workers — chaos is replayable.
+
+use isambard_dri::core::{InfraConfig, Infrastructure, MetricsSnapshot};
+use isambard_dri::fault::FaultPlan;
+use isambard_dri::trace::{chrome_trace, well_formed, SpanRecord};
+use isambard_dri::workload::{build_population, run_storm, StormMode, StormResult};
+use proptest::prelude::*;
+
+/// The chaos plan layered over the storm: a flaky IdP, a dragging
+/// broker, and a flaky edge, all windowed over the whole run.
+fn chaos_plan(seed: u64, now: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .flaky("idp", 200, now, now + 3_600_000)
+        .latency("broker", 2, now, now + 3_600_000)
+        .flaky("edge", 150, now, now + 3_600_000)
+}
+
+/// Build the population, arm the chaos plan, run the storm in `mode`.
+fn chaos_run(
+    seed: u64,
+    projects: usize,
+    researchers: usize,
+    mode: StormMode,
+) -> (MetricsSnapshot, StormResult, Vec<SpanRecord>) {
+    let config = InfraConfig::builder()
+        .seed(seed)
+        .jupyter_capacity(4096)
+        .interactive_nodes(4096)
+        .edge_threshold(usize::MAX / 2)
+        .build()
+        .unwrap();
+    let infra = Infrastructure::new(config);
+    let pop = build_population(&infra, projects, researchers).unwrap();
+    let users: Vec<(String, String)> = pop
+        .projects
+        .iter()
+        .flat_map(|p| {
+            std::iter::once((p.pi_label.clone(), p.name.clone())).chain(
+                p.researcher_labels
+                    .iter()
+                    .map(|r| (r.clone(), p.name.clone())),
+            )
+        })
+        .collect();
+    infra.install_fault_plan(chaos_plan(seed, infra.clock.now_ms()));
+    let result = run_storm(&infra, &users, mode);
+    let spans = infra.tracer.all_spans();
+    (infra.metrics(), result, spans)
+}
+
+#[test]
+fn chaos_storm_traces_are_bit_identical_serial_vs_parallel() {
+    let (sm, sr, ss) = chaos_run(11, 9, 4, StormMode::Serial);
+    let (pm, pr, ps) = chaos_run(11, 9, 4, StormMode::Parallel(8));
+
+    well_formed(&ss).unwrap();
+    well_formed(&ps).unwrap();
+
+    // The chaos actually happened, identically on both runs.
+    assert!(sm.faults_injected > 0, "the plan fired");
+    assert!(sm.retries > 0, "transient faults were retried");
+    assert_eq!(sm.faults_injected, pm.faults_injected);
+    assert_eq!(sm.retries, pm.retries);
+    assert_eq!(sm.breaker_trips, pm.breaker_trips);
+    assert_eq!(sm.breaker_rejections, pm.breaker_rejections);
+    assert_eq!(sr.completed, pr.completed);
+    assert_eq!(sr.failures.len(), pr.failures.len());
+
+    // And the trace record is byte-for-byte the same: fault injections,
+    // retry spans and all are scheduling-invariant.
+    assert_eq!(
+        chrome_trace(&ss),
+        chrome_trace(&ps),
+        "chaos must not make the trace export depend on interleaving"
+    );
+}
+
+#[test]
+fn retry_and_fault_markers_appear_in_the_trace() {
+    let (_m, _r, spans) = chaos_run(11, 4, 3, StormMode::Parallel(4));
+    assert!(
+        spans.iter().any(|s| s.name == "retry.backoff"),
+        "retry spans are recorded"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.attrs.iter().any(|(k, _)| k == "fault.injected")),
+        "injected faults stamp their span"
+    );
+    assert!(
+        spans.iter().any(|s| s.name == "fault.latency"),
+        "latency faults materialise as spans"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // For any seed and worker count, the chaos storm is replayable:
+    // identical counters and byte-identical exports vs the serial run.
+    #[test]
+    fn chaos_storm_deterministic_for_any_seed_and_worker_count(
+        seed in 0u64..1_000,
+        workers in 2usize..9,
+    ) {
+        let (sm, sr, ss) = chaos_run(seed, 2, 2, StormMode::Serial);
+        let (pm, pr, ps) = chaos_run(seed, 2, 2, StormMode::Parallel(workers));
+        prop_assert_eq!(sm.faults_injected, pm.faults_injected);
+        prop_assert_eq!(sm.retries, pm.retries);
+        prop_assert_eq!(sm.breaker_trips, pm.breaker_trips);
+        prop_assert_eq!(sr.completed, pr.completed);
+        prop_assert!(well_formed(&ss).is_ok());
+        prop_assert!(well_formed(&ps).is_ok());
+        prop_assert_eq!(chrome_trace(&ss), chrome_trace(&ps));
+    }
+}

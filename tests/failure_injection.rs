@@ -3,7 +3,10 @@
 //! availability, usability, and cost-efficiency".
 
 use isambard_dri::core::{FlowError, InfraConfig, Infrastructure};
+use isambard_dri::fault::FaultPlan;
+use isambard_dri::federation::AuthnError;
 use isambard_dri::netsim::BastionError;
+use isambard_dri::sshca::CaError;
 
 fn onboarded() -> Infrastructure {
     let infra = Infrastructure::new(InfraConfig::default());
@@ -16,18 +19,27 @@ fn onboarded() -> Infrastructure {
 fn bastion_instance_failures_are_transparent_until_the_last() {
     let infra = onboarded();
     // Kill instances one by one; the HA set keeps serving.
-    infra.bastion.drain_instance(0);
+    infra.bastion.drain_instance(0).unwrap();
     assert!(infra.story4_ssh_connect("alice", "p").is_ok());
-    infra.bastion.drain_instance(1);
+    infra.bastion.drain_instance(1).unwrap();
     assert!(infra.story4_ssh_connect("alice", "p").is_ok());
-    infra.bastion.drain_instance(2);
+    infra.bastion.drain_instance(2).unwrap();
     assert!(matches!(
         infra.story4_ssh_connect("alice", "p"),
         Err(FlowError::Bastion(BastionError::Unavailable))
     ));
     // Recovery restores service.
-    infra.bastion.restore_instance(1);
+    infra.bastion.restore_instance(1).unwrap();
     assert!(infra.story4_ssh_connect("alice", "p").is_ok());
+    // Out-of-range instance indices are refused, not silently ignored.
+    assert!(matches!(
+        infra.bastion.drain_instance(99),
+        Err(BastionError::UnknownInstance(99))
+    ));
+    assert!(matches!(
+        infra.bastion.restore_instance(99),
+        Err(BastionError::UnknownInstance(99))
+    ));
 }
 
 #[test]
@@ -55,7 +67,7 @@ fn broker_key_rotation_fails_closed_until_jwks_distributed() {
 #[test]
 fn isolated_login_node_blocks_ssh_but_not_identity_plane() {
     let infra = onboarded();
-    infra.network.isolate("mdc/login01");
+    infra.network.isolate("mdc/login01").unwrap();
     // SSH path dies at the fabric.
     assert!(matches!(
         infra.story4_ssh_connect("alice", "p"),
@@ -64,7 +76,7 @@ fn isolated_login_node_blocks_ssh_but_not_identity_plane() {
     // But the identity plane is unaffected: fresh logins and tokens work.
     assert!(infra.federated_login("alice").is_ok());
     assert!(infra.token_for("alice", "ssh-ca", vec![]).is_ok());
-    infra.network.deisolate("mdc/login01");
+    infra.network.deisolate("mdc/login01").unwrap();
     assert!(infra.story4_ssh_connect("alice", "p").is_ok());
 }
 
@@ -117,4 +129,141 @@ fn jupyter_capacity_exhaustion_fails_closed_and_recovers() {
     // Stopping the first frees capacity.
     infra.jupyter.stop(&first.notebook.id);
     assert!(infra.story6_jupyter("alice", "p", "198.51.100.3").is_ok());
+}
+
+#[test]
+fn flaky_idp_window_is_ridden_out_by_retries() {
+    let infra = onboarded();
+    infra.enroll_last_resort_fallback("alice").unwrap();
+    let now = infra.clock.now_ms();
+    let plane =
+        infra.install_fault_plan(FaultPlan::new(42).flaky("idp", 300, now, now + 3_600_000));
+    // Fresh logins during the flaky window: transient failures are
+    // retried with deterministic backoff, and every login lands — on the
+    // primary path when a retry got through, on the last-resort fallback
+    // when the whole budget was exhausted.
+    for _ in 0..6 {
+        infra.federated_login("alice").unwrap();
+    }
+    assert!(plane.failures_injected() > 0, "the plan actually fired");
+    let m = infra.metrics();
+    assert!(m.retries > 0, "transient failures were retried");
+    assert_eq!(m.faults_injected, plane.failures_injected());
+}
+
+#[test]
+fn flaky_edge_is_ridden_out_by_retries() {
+    let infra = onboarded();
+    let now = infra.clock.now_ms();
+    infra.install_fault_plan(FaultPlan::new(7).flaky("edge", 500, now, now + 3_600_000));
+    let mut ok = 0;
+    for i in 0..8 {
+        let ip = format!("198.51.100.{}", 10 + i);
+        ok += usize::from(infra.story6_jupyter("alice", "p", &ip).is_ok());
+    }
+    assert!(
+        ok >= 5,
+        "most notebook flows ride out the flaky edge: {ok}/8"
+    );
+    assert!(infra.metrics().retries > 0);
+}
+
+#[test]
+fn sshca_outage_fails_new_issuance_closed_but_existing_sessions_survive() {
+    let infra = onboarded();
+    infra.story4_ssh_connect("alice", "p").unwrap();
+    let shells_before = infra.login_node.session_count();
+    let now = infra.clock.now_ms();
+    infra.install_fault_plan(FaultPlan::new(42).outage("sshca", now, now + 60_000));
+    // New issuance fails *closed* — no retry, no degraded path: the CA
+    // is the trust anchor.
+    assert!(matches!(
+        infra.story4_ssh_connect("alice", "p"),
+        Err(FlowError::Ca(CaError::Unavailable))
+    ));
+    // Certs issued before the outage stay valid: the session opened
+    // earlier is untouched.
+    assert_eq!(infra.login_node.session_count(), shells_before);
+    // Window passes: issuance resumes.
+    infra.clock.advance(60_001);
+    assert!(infra.story4_ssh_connect("alice", "p").is_ok());
+}
+
+#[test]
+fn broker_outage_trips_the_breaker_and_fails_fast() {
+    let infra = onboarded();
+    let now = infra.clock.now_ms();
+    infra.install_fault_plan(FaultPlan::new(42).outage("broker", now, now + 60_000));
+    // Three exhausted retry rounds trip the per-lane breaker…
+    for _ in 0..3 {
+        assert!(matches!(
+            infra.federated_login("alice"),
+            Err(FlowError::Broker(_))
+        ));
+    }
+    let m = infra.metrics();
+    assert!(m.breaker_trips >= 1, "third failure opens the breaker");
+    assert!(
+        m.retries >= 6,
+        "each round retried twice, saw {}",
+        m.retries
+    );
+    // …so the fourth call is rejected fast, without touching the broker.
+    let injected_before = infra.resilience.plane().unwrap().failures_injected();
+    assert!(matches!(
+        infra.federated_login("alice"),
+        Err(FlowError::CircuitOpen(dep)) if dep == "broker"
+    ));
+    assert_eq!(
+        infra.resilience.plane().unwrap().failures_injected(),
+        injected_before,
+        "open breaker shields the dependency"
+    );
+    assert!(infra.metrics().breaker_rejections >= 1);
+    // Outage over and cool-down elapsed: the half-open probe succeeds
+    // and service restores.
+    infra.clock.advance(60_000 + 30_000 + 1);
+    assert!(infra.federated_login("alice").is_ok());
+}
+
+#[test]
+fn idp_outage_without_fallback_enrollment_fails_with_the_idp_error() {
+    let infra = onboarded();
+    let now = infra.clock.now_ms();
+    infra.install_fault_plan(FaultPlan::new(42).outage("idp", now, now + 60_000));
+    // No last-resort credential enrolled: the degraded path cannot help,
+    // and the caller sees the real upstream error.
+    assert!(matches!(
+        infra.federated_login("alice"),
+        Err(FlowError::Idp(AuthnError::IdpUnavailable))
+    ));
+    assert_eq!(infra.metrics().degraded_logins, 0);
+}
+
+#[test]
+fn idp_outage_fails_over_to_last_resort_and_recovers() {
+    let infra = onboarded();
+    let outcome = infra.chaos_idp_outage("alice", 60_000).unwrap();
+    assert!(outcome.passed(), "failed checks: {:?}", outcome.failures());
+    assert_eq!(outcome.fault_ids.len(), 1);
+    assert!(outcome.retries >= 6);
+    assert!(
+        outcome.degraded_logins >= 4,
+        "three slow + one fast failover"
+    );
+    assert_eq!(outcome.breaker_trips, 1);
+    let m = infra.metrics();
+    assert!(m.degraded_logins >= 4 && m.retries >= 6 && m.breaker_trips >= 1);
+}
+
+#[test]
+fn chaos_bastion_and_killswitch_drills_pass() {
+    let infra = onboarded();
+    let bastion = infra.chaos_bastion_loss("alice", "p").unwrap();
+    assert!(bastion.passed(), "failed checks: {:?}", bastion.failures());
+
+    let infra = onboarded();
+    let drill = infra.chaos_killswitch_drill("alice", "p", 60_000).unwrap();
+    assert!(drill.passed(), "failed checks: {:?}", drill.failures());
+    assert_eq!(drill.fault_ids.len(), 1);
 }

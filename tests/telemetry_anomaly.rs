@@ -64,6 +64,28 @@ fn event_burst_is_flagged_statistically() {
 }
 
 #[test]
+fn siem_indexes_events_by_trace_id() {
+    let infra = Infrastructure::new(InfraConfig::default());
+    infra.create_federated_user("alice", "pw");
+    infra.story1_onboard_pi("p", "alice", 100.0).unwrap();
+    infra.story4_ssh_connect("alice", "p").unwrap();
+    // Traced flows stamp their events; the SIEM's trace index joins
+    // them back so one trace id answers "what did this flow touch?".
+    assert!(infra.siem.indexed_trace_count() > 0);
+    let session = infra
+        .broker
+        .sessions_of_subject(&infra.subject_of("alice").unwrap());
+    let trace = session
+        .iter()
+        .find_map(|s| s.trace_id.clone())
+        .expect("login session carries its origin trace id");
+    assert!(
+        !infra.siem.events_for_trace(&trace).is_empty(),
+        "the login trace joins to at least one SIEM event"
+    );
+}
+
+#[test]
 fn anomaly_and_signature_rules_are_complementary() {
     let infra = Infrastructure::new(InfraConfig::default());
     // Signature rules catch *semantic* badness at low volume (5 failures)…
