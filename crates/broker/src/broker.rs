@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dri_clock::{IdGen, SimClock};
-use dri_crypto::ed25519::{SigningKey, VerifyingKey};
+use dri_crypto::ed25519::{PreparedVerifyingKey, SigningKey};
 use dri_crypto::json::Value;
 use dri_crypto::jwt::{self, Claims, Signer, Validation, Verifier};
 use dri_federation::assertion::{Assertion, AssertionError};
@@ -17,6 +17,7 @@ use parking_lot::RwLock;
 
 use crate::authz::AuthorizationSource;
 use crate::managed_idp::ManagedLogin;
+use crate::token_cache::TokenCache;
 
 /// Where a session's identity came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,7 +158,14 @@ pub struct Jwks {
     pub issuer: String,
     /// Key-ring generation; bumped by every rotation or prune.
     pub epoch: u64,
-    keys: HashMap<String, VerifyingKey>,
+    /// Keys are stored pre-decompressed: the curve point is recovered
+    /// once at publication instead of on every signature check.
+    keys: HashMap<String, PreparedVerifyingKey>,
+    /// The issuer's shared verified-token cache, consulted on
+    /// validation. Every service holding this snapshot reaches the same
+    /// cache, so a token verified (or seeded at signing) anywhere in the
+    /// trust domain is a hit everywhere else.
+    cache: Option<Arc<TokenCache>>,
 }
 
 impl Jwks {
@@ -170,16 +178,16 @@ impl Jwks {
     ) -> Result<Claims, jwt::JwtError> {
         let kid = jwt::peek_kid(token).ok_or(jwt::JwtError::Malformed)?;
         let key = self.keys.get(&kid).ok_or(jwt::JwtError::BadSignature)?;
-        jwt::verify(
-            token,
-            &Verifier::Ed25519(key),
-            &Validation {
-                issuer: self.issuer.clone(),
-                audience: audience.to_string(),
-                now: now_secs,
-                leeway: 0,
-            },
-        )
+        let validation = Validation {
+            issuer: self.issuer.clone(),
+            audience: audience.to_string(),
+            now: now_secs,
+            leeway: 0,
+        };
+        match &self.cache {
+            Some(cache) => cache.validate(&kid, key, token, &validation),
+            None => jwt::verify(token, &Verifier::Ed25519Prepared(key), &validation),
+        }
     }
 
     /// Number of published keys.
@@ -231,6 +239,7 @@ pub struct IdentityBroker {
     jti_ids: IdGen,
     key_ids: IdGen,
     faults: dri_fault::FaultHook,
+    token_cache: Arc<TokenCache>,
     /// Present only when `shards == 1`: reproduces the pre-sharding
     /// design, where one `RwLock<BrokerState>` was held across entire
     /// operations — including JWT signing inside `issue_token`. Session
@@ -282,14 +291,16 @@ impl IdentityBroker {
         let ring = SignerRing {
             keys: vec![(kid, SigningKey::from_seed(&seed))],
         };
+        let token_cache = Arc::new(TokenCache::new(shards));
         let jwks = Jwks {
             issuer: issuer.clone(),
             epoch: 0,
             keys: ring
                 .keys
                 .iter()
-                .map(|(kid, sk)| (kid.clone(), sk.verifying_key()))
+                .map(|(kid, sk)| (kid.clone(), PreparedVerifyingKey::new(&sk.verifying_key())))
                 .collect(),
+            cache: Some(token_cache.clone()),
         };
         IdentityBroker {
             issuer,
@@ -310,6 +321,7 @@ impl IdentityBroker {
             jti_ids: IdGen::new("jti"),
             key_ids,
             faults: dri_fault::FaultHook::new(),
+            token_cache,
             coarse_gate: (shards == 1).then(|| RwLock::new(())),
         }
     }
@@ -351,6 +363,10 @@ impl IdentityBroker {
     /// Rebuild and publish the JWKS snapshot from the current ring,
     /// bumping the epoch.
     fn republish_jwks(&self) {
+        // Invalidation leads caching: the verifier epoch bumps before
+        // the new key set becomes visible, so no verification cached
+        // under the old ring can be served once the ring changes.
+        self.token_cache.bump_epoch();
         let ring = self.signer.load();
         let epoch = self.key_epoch.fetch_add(1, Ordering::AcqRel) + 1;
         self.jwks_cache.store(Jwks {
@@ -359,8 +375,9 @@ impl IdentityBroker {
             keys: ring
                 .keys
                 .iter()
-                .map(|(kid, sk)| (kid.clone(), sk.verifying_key()))
+                .map(|(kid, sk)| (kid.clone(), PreparedVerifyingKey::new(&sk.verifying_key())))
                 .collect(),
+            cache: Some(self.token_cache.clone()),
         });
     }
 
@@ -552,6 +569,9 @@ impl IdentityBroker {
         let ring = self.signer.load();
         let (kid, key) = ring.keys.last().expect("at least one key");
         let token = jwt::sign(&claims, &Signer::Ed25519(key), kid);
+        // Issuer and verifiers share a trust domain: seed the verified-
+        // token cache at sign time so the first validation is a hit.
+        self.token_cache.seed(kid, &token, &claims);
         Ok((token, claims))
     }
 
@@ -606,6 +626,7 @@ impl IdentityBroker {
         let ring = self.signer.load();
         let (kid, key) = ring.keys.last().expect("key");
         let token = jwt::sign(&derived, &Signer::Ed25519(key), kid);
+        self.token_cache.seed(kid, &token, &derived);
         Ok((token, derived))
     }
 
@@ -650,7 +671,13 @@ impl IdentityBroker {
     }
 
     /// Revoke a single token.
+    ///
+    /// Revocation is enforced by introspection (the JWKS path checks
+    /// signatures, not liveness); bumping the verifier epoch first is
+    /// defence in depth — no verification cached before the revocation
+    /// survives it.
     pub fn revoke_token(&self, jti: &str) {
+        self.token_cache.bump_epoch();
         self.revoked_tokens.insert(jti.to_string());
     }
 
@@ -667,12 +694,14 @@ impl IdentityBroker {
     /// cross-shard sweep removes every session — so a login racing the
     /// kill either misses the session map or is refused at establish.
     pub fn revoke_subject(&self, subject: &str) {
+        self.token_cache.bump_epoch();
         self.revoked_subjects.insert(subject.to_string());
         self.sessions.retain(|_, s| s.subject != subject);
     }
 
     /// Lift a subject revocation (post-incident).
     pub fn reinstate_subject(&self, subject: &str) {
+        self.token_cache.bump_epoch();
         self.revoked_subjects.remove(subject);
     }
 
@@ -719,6 +748,13 @@ impl IdentityBroker {
     /// Number of shards backing each concurrent map.
     pub fn shard_count(&self) -> usize {
         self.tokens_issued.len()
+    }
+
+    /// The shared verified-token cache (seeded at issuance, consulted by
+    /// every published [`Jwks`] snapshot, epoch-bumped by every
+    /// security-state change).
+    pub fn token_cache(&self) -> &Arc<TokenCache> {
+        &self.token_cache
     }
 
     /// Live session count (metrics).

@@ -35,8 +35,10 @@ pub mod authz;
 pub mod broker;
 pub mod managed_idp;
 pub mod oidc;
+pub mod token_cache;
 
 pub use authz::{AuthorizationSource, StaticAuthz};
 pub use broker::{BrokerError, IdentityBroker, IdentitySource, Jwks, SessionInfo, TokenPolicy};
 pub use managed_idp::{HardwareKey, ManagedIdp, ManagedIdpError, MfaMethod};
 pub use oidc::{DeviceFlowError, DeviceGrant, OidcClient, OidcError, OidcProvider};
+pub use token_cache::TokenCache;

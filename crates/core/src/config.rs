@@ -76,6 +76,12 @@ pub struct InfraConfig {
     /// latency histograms). On in the paper's deployment; E9 toggles it
     /// off to measure the tracing overhead.
     pub tracing: bool,
+    /// Enable the verification caches (verified-token cache and PDP
+    /// decision memo). On in the paper's deployment; the login-storm
+    /// benchmark toggles it off for the cold baseline. Off, every
+    /// token validation pays the full Ed25519 verify and every PDP
+    /// consultation re-runs the trust algorithm.
+    pub verification_cache: bool,
     /// Enable the in-progress HPC-fabric / parallel-FS encryption the
     /// paper lists as future work (§V). Off in the paper's deployment.
     pub hpc_fabric_encryption: bool,
@@ -105,6 +111,7 @@ impl Default for InfraConfig {
             broker_shards: 16,
             detection: DetectionConfig::default(),
             tracing: true,
+            verification_cache: true,
             hpc_fabric_encryption: false,
             fault_plan: None,
         }
@@ -163,6 +170,13 @@ impl InfraConfigBuilder {
     /// Set the broker shard count (1 = coarse-lock baseline).
     pub fn broker_shards(mut self, shards: usize) -> Self {
         self.cfg.broker_shards = shards;
+        self
+    }
+
+    /// Toggle the verification caches (the login-storm benchmark's cold
+    /// baseline turns them off).
+    pub fn verification_cache(mut self, enabled: bool) -> Self {
+        self.cfg.verification_cache = enabled;
         self
     }
 

@@ -25,7 +25,7 @@ use dri_netsim::edge::EdgeProxy;
 use dri_netsim::tailnet::{Tailnet, TailnetNode};
 use dri_netsim::topology::{Domain, Network, Selector, Zone};
 use dri_netsim::tunnel::{HttpResponse, TunnelServer};
-use dri_policy::trust::PolicyDecisionPoint;
+use dri_policy::trust::{MemoizedPdp, PolicyDecisionPoint};
 use dri_portal::portal::Portal;
 use dri_siem::anomaly::{AnomalyConfig, AnomalyDetector, RateAnomaly};
 use dri_siem::events::{EventKind, SecurityEvent, Severity};
@@ -109,8 +109,9 @@ pub struct Infrastructure {
     /// Fed from a SIEM ingest tap at batch-drain time.
     pub anomaly: Arc<AnomalyDetector>,
     rate_anomalies: Arc<RwLock<Vec<RateAnomaly>>>,
-    /// The policy decision point.
-    pub pdp: PolicyDecisionPoint,
+    /// The policy decision point, wrapped in the epoch-invalidated
+    /// decision memo (the kill switch bumps the memo epoch).
+    pub pdp: MemoizedPdp,
     /// Retry/breaker/degraded-mode state plus the optional fault plane.
     pub resilience: Resilience,
     /// Simulated users (client-side state lives here).
@@ -408,6 +409,8 @@ impl Infrastructure {
             }));
         }
 
+        let verification_cache = config.verification_cache;
+        let pdp_shards = config.broker_shards;
         let infra = Infrastructure {
             config,
             clock,
@@ -436,12 +439,19 @@ impl Infrastructure {
             inventory,
             anomaly,
             rate_anomalies,
-            pdp: PolicyDecisionPoint::default(),
+            pdp: MemoizedPdp::new(PolicyDecisionPoint::default(), pdp_shards),
             resilience,
             users: RwLock::new(HashMap::new()),
             mgmt_node,
             pdp_consultations: AtomicU64::new(0),
         };
+        if !verification_cache {
+            // Cold baseline: both caches fall back to the uncached
+            // paths without structural change — no rng is consumed
+            // either way, so the derived key material is identical.
+            infra.broker.token_cache().set_enabled(false);
+            infra.pdp.set_enabled(false);
+        }
         infra.bootstrap_operations_admin();
         if let Some(plan) = infra.config.fault_plan.clone() {
             infra.install_fault_plan(plan);

@@ -47,7 +47,12 @@ impl Infrastructure {
             .rev()
             .find_map(|s| s.trace_id);
 
-        // Identity layer: no new sessions, introspection fails.
+        // Policy layer first: invalidation leads caching — every
+        // memoized allow is busted before access state changes, so no
+        // decision cached under the pre-kill posture can be served.
+        self.pdp.bump_epoch();
+        // Identity layer: no new sessions, introspection fails (and the
+        // broker bumps the verified-token cache epoch).
         self.broker.revoke_subject(subject);
         // Federation layer: suspend the community account if it is one.
         let proxy_suspended = self.proxy.set_suspended(subject, true).is_ok();

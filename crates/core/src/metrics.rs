@@ -64,6 +64,19 @@ pub struct MetricsSnapshot {
     pub vuln_findings: usize,
     /// PDP consultations.
     pub pdp_consultations: u64,
+    // Verification caches.
+    /// Verified-token cache hits (signature check skipped).
+    pub token_cache_hits: u64,
+    /// Verified-token cache misses (full verification performed).
+    pub token_cache_misses: u64,
+    /// Verified-token cache entries discarded on an epoch mismatch.
+    pub token_cache_epoch_busts: u64,
+    /// PDP decision-memo hits (trust algorithm skipped).
+    pub pdp_memo_hits: u64,
+    /// PDP decision-memo misses (trust algorithm evaluated).
+    pub pdp_memo_misses: u64,
+    /// PDP memo entries discarded on an epoch mismatch.
+    pub pdp_memo_epoch_busts: u64,
     // Resilience layer.
     /// Retries performed across transient hops.
     pub retries: u64,
@@ -103,6 +116,12 @@ impl Infrastructure {
             inventory_assets: self.inventory.asset_count(),
             vuln_findings: self.inventory.scan().len(),
             pdp_consultations: self.pdp_consultation_count(),
+            token_cache_hits: self.broker.token_cache().hits(),
+            token_cache_misses: self.broker.token_cache().misses(),
+            token_cache_epoch_busts: self.broker.token_cache().epoch_busts(),
+            pdp_memo_hits: self.pdp.hits(),
+            pdp_memo_misses: self.pdp.misses(),
+            pdp_memo_epoch_busts: self.pdp.epoch_busts(),
             retries: self.resilience.retries(),
             breaker_trips: self.resilience.breakers().trips(),
             breaker_rejections: self.resilience.breakers().rejections(),
@@ -152,6 +171,12 @@ mod tests {
         assert_eq!(after.queue_depth.1, 1);
         assert!(after.tokens_issued >= 2);
         assert!(after.pdp_consultations >= 2);
+        // Sign-time seeding: every story token validated once is a hit.
+        assert!(after.token_cache_hits >= 2);
+        assert_eq!(
+            after.pdp_memo_hits + after.pdp_memo_misses,
+            after.pdp_consultations
+        );
         assert!(after.siem_events > before.siem_events);
         assert!(after.traces_recorded >= 3, "one trace per story flow");
         let stages: Vec<&str> = after.stage_latencies.iter().map(|s| s.stage).collect();

@@ -6,7 +6,7 @@
 //! real signature check plus `exp`/`nbf`/`aud`/`iss` claim enforcement.
 
 use crate::base64::{decode_url, encode_url};
-use crate::ed25519::{SigningKey, VerifyingKey};
+use crate::ed25519::{PreparedVerifyingKey, SigningKey, VerifyingKey};
 use crate::hmac::{hmac_sha256, verify_hmac_sha256};
 use crate::json::Value;
 
@@ -168,6 +168,11 @@ pub enum Signer<'a> {
 pub enum Verifier<'a> {
     /// Ed25519 public key.
     Ed25519(&'a VerifyingKey),
+    /// Ed25519 public key with its curve point pre-decompressed — same
+    /// accept/reject behaviour as `Ed25519`, minus the per-call point
+    /// decompression (verification caches prepare keys once per JWKS
+    /// publish).
+    Ed25519Prepared(&'a PreparedVerifyingKey),
     /// HMAC secret.
     Hmac(&'a [u8]),
 }
@@ -226,7 +231,7 @@ pub fn verify(
     let header = Value::parse(header_json).map_err(|_| JwtError::Malformed)?;
     let alg = header.get("alg").and_then(Value::as_str).unwrap_or("");
     let expected_alg = match verifier {
-        Verifier::Ed25519(_) => Algorithm::EdDSA,
+        Verifier::Ed25519(_) | Verifier::Ed25519Prepared(_) => Algorithm::EdDSA,
         Verifier::Hmac(_) => Algorithm::HS256,
     };
     // Pinning the algorithm to the key type forecloses alg-confusion attacks.
@@ -246,6 +251,14 @@ pub fn verify(
             sig64.copy_from_slice(&sig);
             pk.verify(signing_input.as_bytes(), &sig64)
         }
+        Verifier::Ed25519Prepared(pk) => {
+            if sig.len() != 64 {
+                return Err(JwtError::BadSignature);
+            }
+            let mut sig64 = [0u8; 64];
+            sig64.copy_from_slice(&sig);
+            pk.verify(signing_input.as_bytes(), &sig64)
+        }
         Verifier::Hmac(key) => verify_hmac_sha256(key, signing_input.as_bytes(), &sig),
     };
     if !ok {
@@ -257,6 +270,19 @@ pub fn verify(
     let payload = Value::parse(payload_json).map_err(|_| JwtError::Malformed)?;
     let claims = Claims::from_value(&payload)?;
 
+    validate_claims(&claims, validation)?;
+    Ok(claims)
+}
+
+/// The claim-level checks of [`verify`] (issuer, audience, `nbf`, `exp`),
+/// in the exact order `verify` applies them.
+///
+/// Split out so a verified-token cache can re-apply the *time-dependent*
+/// checks on every cache hit: the signature over the bytes cannot change
+/// after caching, but the clock keeps moving, so a hit must re-validate
+/// freshness with the same semantics (and the same error kinds) as a
+/// full verification.
+pub fn validate_claims(claims: &Claims, validation: &Validation) -> Result<(), JwtError> {
     if !validation.issuer.is_empty() && claims.issuer != validation.issuer {
         return Err(JwtError::WrongIssuer);
     }
@@ -269,7 +295,7 @@ pub fn verify(
     if validation.now >= claims.expires_at + validation.leeway {
         return Err(JwtError::Expired);
     }
-    Ok(claims)
+    Ok(())
 }
 
 /// Decode the `kid` header of a token without verifying it (used to pick
@@ -362,6 +388,68 @@ mod tests {
             Some("brics-001")
         );
         assert_eq!(peek_kid(&token).as_deref(), Some("fds-key-1"));
+    }
+
+    #[test]
+    fn prepared_verifier_agrees_with_plain() {
+        let sk = SigningKey::from_seed(&[9u8; 32]);
+        let pk = sk.verifying_key();
+        let prepared = PreparedVerifyingKey::new(&pk);
+        let claims = sample_claims(1000);
+        let token = sign(&claims, &Signer::Ed25519(&sk), "k");
+        // Agreement across the full outcome space: ok, expired, wrong
+        // audience, tampered signature.
+        for (tok, now, aud) in [
+            (token.clone(), 1500, ""),
+            (token.clone(), 5000, ""),
+            (token.clone(), 1500, "jupyter"),
+            (format!("{}x", &token[..token.len() - 1]), 1500, ""),
+        ] {
+            let v = Validation {
+                audience: aud.into(),
+                now,
+                ..Default::default()
+            };
+            assert_eq!(
+                verify(&tok, &Verifier::Ed25519(&pk), &v),
+                verify(&tok, &Verifier::Ed25519Prepared(&prepared), &v)
+            );
+        }
+    }
+
+    #[test]
+    fn validate_claims_matches_verify_order() {
+        let mut claims = sample_claims(1000); // valid [1000, 1900)
+        claims.audience = "slurm".into();
+        // WrongIssuer outranks WrongAudience outranks NotYetValid.
+        let v = Validation {
+            issuer: "rogue".into(),
+            audience: "jupyter".into(),
+            now: 10,
+            leeway: 0,
+        };
+        assert_eq!(validate_claims(&claims, &v), Err(JwtError::WrongIssuer));
+        let v = Validation {
+            audience: "jupyter".into(),
+            now: 10,
+            ..Default::default()
+        };
+        assert_eq!(validate_claims(&claims, &v), Err(JwtError::WrongAudience));
+        let v = Validation {
+            now: 10,
+            ..Default::default()
+        };
+        assert_eq!(validate_claims(&claims, &v), Err(JwtError::NotYetValid));
+        let v = Validation {
+            now: 1900,
+            ..Default::default()
+        };
+        assert_eq!(validate_claims(&claims, &v), Err(JwtError::Expired));
+        let v = Validation {
+            now: 1500,
+            ..Default::default()
+        };
+        assert_eq!(validate_claims(&claims, &v), Ok(()));
     }
 
     #[test]

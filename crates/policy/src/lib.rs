@@ -25,5 +25,6 @@ pub mod trust;
 pub use caf::{Achievement, CafAssessment, CafEvidence, CafPrinciple};
 pub use tenets::{TenetAudit, TenetEvidence, TenetResult};
 pub use trust::{
-    AccessDecision, AccessRequest, DevicePosture, PolicyDecisionPoint, Sensitivity, SourceZone,
+    AccessDecision, AccessRequest, DevicePosture, MemoizedPdp, PolicyDecisionPoint, Sensitivity,
+    SourceZone,
 };

@@ -220,6 +220,189 @@ impl PolicyDecisionPoint {
     }
 }
 
+/// Width of the session-age buckets the memoizing PDP quantizes to, in
+/// seconds. Divides the default `max_session_age_secs` (8h) exactly, so
+/// the stale-session gate fires at precisely the same age with and
+/// without quantization.
+pub const SESSION_AGE_BUCKET_SECS: u64 = 60;
+
+/// A [`PolicyDecisionPoint`] wrapper that memoizes decisions on the
+/// quantized request feature tuple.
+///
+/// The PDP is a pure function of the request features; the only
+/// continuously varying input is the session age, which the wrapper
+/// quantizes to [`SESSION_AGE_BUCKET_SECS`] buckets — **in both the
+/// memoized and unmemoized paths**, so enabling the memo never changes a
+/// decision. The memo key deliberately excludes the subject (two users
+/// with identical features share an entry) and includes every feature
+/// `decide` reads, so a posture downgrade or zone change can never hit a
+/// stale entry: it maps to a different key by construction.
+///
+/// Entries carry the **decision epoch**; [`MemoizedPdp::bump_epoch`]
+/// (wired to the kill switch and posture-feed updates) invalidates every
+/// cached decision at once — invalidation leads caching.
+pub struct MemoizedPdp {
+    /// The wrapped decision point (public: experiments tune thresholds).
+    pub pdp: PolicyDecisionPoint,
+    enabled: std::sync::atomic::AtomicBool,
+    epoch: std::sync::atomic::AtomicU64,
+    memo: dri_sync::ShardMap<MemoEntry>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+    epoch_busts: std::sync::atomic::AtomicU64,
+}
+
+struct MemoEntry {
+    epoch: u64,
+    decision: AccessDecision,
+}
+
+impl MemoizedPdp {
+    /// Wrap `pdp` with a memo of `shards` shards (rounded to a power of
+    /// two), enabled.
+    pub fn new(pdp: PolicyDecisionPoint, shards: usize) -> MemoizedPdp {
+        MemoizedPdp {
+            pdp,
+            enabled: std::sync::atomic::AtomicBool::new(true),
+            epoch: std::sync::atomic::AtomicU64::new(0),
+            memo: dri_sync::ShardMap::new(shards),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+            epoch_busts: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Enable or disable memoization (decisions are identical either
+    /// way; only the lookup work differs).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled
+            .store(enabled, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether memoization is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Current decision epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Invalidate every memoized decision (kill switch armed/fired,
+    /// posture feed updated, policy changed). Returns the new epoch.
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel) + 1
+    }
+
+    /// Memo hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Memo misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Entries found but discarded because their epoch was stale.
+    pub fn epoch_busts(&self) -> u64 {
+        self.epoch_busts.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Live memo entries.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    /// Quantize the continuously varying feature (session age) so near-
+    /// identical requests share a memo entry. Applied on every path.
+    fn canonicalize(req: &AccessRequest) -> AccessRequest {
+        let mut req = req.clone();
+        req.session_age_secs =
+            (req.session_age_secs / SESSION_AGE_BUCKET_SECS) * SESSION_AGE_BUCKET_SECS;
+        req
+    }
+
+    /// Every feature `PolicyDecisionPoint::decide` reads, minus the
+    /// subject — cross-user sharing is sound precisely because the
+    /// decision never reads the subject.
+    fn memo_key(req: &AccessRequest) -> String {
+        format!(
+            "{}|{:?}|{}|{:?}|{}|{:?}|{}|{:?}",
+            req.resource,
+            req.sensitivity,
+            req.has_role,
+            req.loa,
+            req.acr,
+            req.device,
+            req.session_age_secs,
+            req.source,
+        )
+    }
+
+    /// Decide `req`, consulting the memo when enabled. Identical output
+    /// to `self.pdp.decide(&canonicalized)` in all cases.
+    pub fn decide(&self, req: &AccessRequest) -> AccessDecision {
+        let req = Self::canonicalize(req);
+        if !self.enabled() {
+            return self.pdp.decide(&req);
+        }
+        let key = Self::memo_key(&req);
+        let current = self.epoch();
+        match self.memo.get_cloned(&key) {
+            Some(entry) if entry.epoch == current => {
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                dri_trace::add_attr("cache.pdp", "hit");
+                return entry.decision;
+            }
+            Some(_) => {
+                self.epoch_busts
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.memo.remove(&key);
+            }
+            None => {}
+        }
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        dri_trace::add_attr("cache.pdp", "miss");
+        let decision = self.pdp.decide(&req);
+        self.memo.insert(
+            key,
+            MemoEntry {
+                epoch: current,
+                decision: decision.clone(),
+            },
+        );
+        decision
+    }
+}
+
+impl Clone for MemoEntry {
+    fn clone(&self) -> MemoEntry {
+        MemoEntry {
+            epoch: self.epoch,
+            decision: self.decision.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MemoizedPdp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoizedPdp")
+            .field("pdp", &self.pdp)
+            .field("enabled", &self.enabled())
+            .field("epoch", &self.epoch())
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,5 +507,90 @@ mod tests {
         assert!(d.reasons.len() >= 5);
         assert!(d.reasons.iter().any(|r| r.contains("identity")));
         assert!(d.reasons.iter().any(|r| r.contains("source")));
+    }
+
+    #[test]
+    fn memoized_and_plain_agree_on_and_off() {
+        let memo = MemoizedPdp::new(PolicyDecisionPoint::default(), 16);
+        let plain = PolicyDecisionPoint::default();
+        let mut requests = Vec::new();
+        for age in [0u64, 59, 60, 61, 3599, 7 * 3600, 8 * 3600, 9 * 3600] {
+            for sens in [
+                Sensitivity::Standard,
+                Sensitivity::Elevated,
+                Sensitivity::Critical,
+            ] {
+                let mut r = base_request();
+                r.session_age_secs = age;
+                r.sensitivity = sens;
+                requests.push(r);
+            }
+        }
+        let mut r = base_request();
+        r.device.compromised = true;
+        requests.push(r);
+        let mut r = base_request();
+        r.has_role = false;
+        requests.push(r);
+        for req in &requests {
+            // Twice each: the second call is a memo hit and must agree too.
+            let canonical = MemoizedPdp::canonicalize(req);
+            assert_eq!(memo.decide(req), plain.decide(&canonical));
+            assert_eq!(memo.decide(req), plain.decide(&canonical));
+        }
+        assert!(memo.hits() > 0);
+        // Disabled memo still agrees.
+        memo.set_enabled(false);
+        for req in &requests {
+            assert_eq!(
+                memo.decide(req),
+                plain.decide(&MemoizedPdp::canonicalize(req))
+            );
+        }
+    }
+
+    #[test]
+    fn memo_shares_entries_across_subjects_not_features() {
+        let memo = MemoizedPdp::new(PolicyDecisionPoint::default(), 16);
+        let mut a = base_request();
+        a.subject = "maid-1".into();
+        let mut b = base_request();
+        b.subject = "maid-2".into();
+        memo.decide(&a);
+        assert_eq!(memo.misses(), 1);
+        memo.decide(&b); // different subject, same features: hit
+        assert_eq!(memo.hits(), 1);
+        // A posture downgrade is a different key — never a stale hit.
+        let mut c = base_request();
+        c.device.compromised = true;
+        assert!(!memo.decide(&c).allow);
+        assert_eq!(memo.misses(), 2);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_memoized_decisions() {
+        let memo = MemoizedPdp::new(PolicyDecisionPoint::default(), 16);
+        let req = base_request();
+        assert!(memo.decide(&req).allow);
+        memo.decide(&req);
+        assert_eq!(memo.hits(), 1);
+        memo.bump_epoch();
+        memo.decide(&req);
+        // The stale entry was discarded, not served.
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.epoch_busts(), 1);
+        assert_eq!(memo.misses(), 2);
+    }
+
+    #[test]
+    fn stale_gate_exact_under_quantization() {
+        // 8h divides into 60s buckets exactly: the stale-session gate
+        // must fire at >= 8h and not a bucket earlier.
+        let memo = MemoizedPdp::new(PolicyDecisionPoint::default(), 4);
+        let mut req = base_request();
+        req.session_age_secs = 8 * 3600 - 1;
+        assert!(memo.decide(&req).allow);
+        req.session_age_secs = 8 * 3600;
+        assert!(!memo.decide(&req).allow);
     }
 }

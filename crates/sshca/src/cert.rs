@@ -7,7 +7,7 @@
 //! format; signatures are real Ed25519 over the exact encoded body.
 
 use dri_crypto::base64;
-use dri_crypto::ed25519::{SigningKey, VerifyingKey};
+use dri_crypto::ed25519::{PreparedVerifyingKey, SigningKey, VerifyingKey};
 
 /// Certificate type: we only model user certificates (host certs would be
 /// the same machinery).
@@ -243,6 +243,32 @@ impl SshCertificate {
         Ok(())
     }
 
+    /// [`SshCertificate::verify`] against a pre-decompressed CA key:
+    /// same checks, same order, same errors, but the CA point
+    /// decompression is paid once at trust time instead of per login.
+    pub fn verify_prepared(
+        &self,
+        ca_key: &PreparedVerifyingKey,
+        now_secs: u64,
+        principal: Option<&str>,
+    ) -> Result<(), CertError> {
+        if !ca_key.verify(&self.tbs_bytes(), &self.signature) {
+            return Err(CertError::BadSignature);
+        }
+        if now_secs < self.valid_after {
+            return Err(CertError::NotYetValid);
+        }
+        if now_secs >= self.valid_before {
+            return Err(CertError::Expired);
+        }
+        if let Some(p) = principal {
+            if !self.principals.iter().any(|x| x == p) {
+                return Err(CertError::PrincipalNotAllowed);
+            }
+        }
+        Ok(())
+    }
+
     /// Remaining lifetime at `now` (0 when expired).
     pub fn remaining_secs(&self, now_secs: u64) -> u64 {
         self.valid_before.saturating_sub(now_secs)
@@ -320,6 +346,24 @@ mod tests {
         );
         assert_eq!(cert.remaining_secs(1000), 8 * 3600);
         assert_eq!(cert.remaining_secs(u64::MAX), 0);
+    }
+
+    #[test]
+    fn verify_prepared_agrees_with_verify() {
+        let ca = SigningKey::from_seed(&[1u8; 32]);
+        let rogue = SigningKey::from_seed(&[2u8; 32]);
+        let cert = sample(&ca);
+        for pk in [ca.verifying_key(), rogue.verifying_key()] {
+            let prepared = PreparedVerifyingKey::new(&pk);
+            for now in [999u64, 1000, 5000, 1000 + 8 * 3600] {
+                for principal in [None, Some("u1a2b3c4"), Some("root")] {
+                    assert_eq!(
+                        cert.verify_prepared(&prepared, now, principal),
+                        cert.verify(&pk, now, principal)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

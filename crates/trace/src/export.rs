@@ -36,6 +36,16 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
             args.insert("sim_start_ms".to_string(), Value::u(s.start_ms));
             args.insert("sim_end_ms".to_string(), Value::u(s.end_ms));
             for (k, v) in &s.attrs {
+                // The `cache.` prefix is reserved for hit/miss
+                // observations whose values depend on thread
+                // interleaving (a parallel storm races on the first
+                // miss) and on whether the caches are enabled. They are
+                // excluded from the export so a seed yields
+                // byte-identical traces serial vs parallel and cache on
+                // vs off.
+                if k.starts_with("cache.") {
+                    continue;
+                }
                 args.insert(format!("attr.{k}"), Value::s(v.clone()));
             }
             Value::obj([

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run the login-storm verification-cache benchmark and refresh
+# BENCH_login_storm.json at the repo root.
+#
+# The report (cold/warm x serial/parallel storms, cache counters, trace
+# determinism checks, and the warm >= 2x cold gate — enforced only on
+# hosts with >= 4 cores) runs before criterion's timing loop. By default
+# the criterion loop is skipped; pass --full to run it too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+filter="skip_criterion_timing_loop"
+if [[ "${1:-}" == "--full" ]]; then
+  filter=""
+fi
+
+# shellcheck disable=SC2086 # an empty filter must expand to no argument
+cargo bench --offline -p dri-bench --bench login_storm -- ${filter}

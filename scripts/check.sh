@@ -31,4 +31,12 @@ cargo test -q --offline -p isambard-dri --test chaos_determinism
 echo "== chaos day (drills, trace shape, fault-plane overhead guard) =="
 cargo run --release --offline --example chaos_day
 
+echo "== verification cache: stale-allow regressions + cached/uncached equivalence =="
+cargo test -q --offline -p dri-broker token_cache
+cargo test -q --offline -p dri-policy trust
+cargo test -q --offline -p isambard-dri --test token_cache
+
+echo "== login-storm gate (warm >= 2x cold; auto-skipped below 4 cores) =="
+BENCH_LOGIN_STORM_JSON=0 cargo bench --offline -p dri-bench --bench login_storm -- skip_criterion_timing_loop
+
 echo "All checks passed."
