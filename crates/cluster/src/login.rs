@@ -6,6 +6,8 @@
 //! actually provisioned on the node; and (3) the connecting client proves
 //! possession of the certified private key by signing a fresh challenge.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use dri_clock::{IdGen, SimClock, SimRng};
 use dri_crypto::ed25519::{PreparedVerifyingKey, VerifyingKey};
 use dri_sshca::cert::{CertError, SshCertificate};
@@ -27,6 +29,13 @@ pub enum LoginError {
     BadPossessionProof,
     /// Account locked (kill switch).
     AccountLocked,
+    /// The node is draining (maintenance): new sessions are refused,
+    /// established sessions keep running — the graceful counterpart of
+    /// `set_locked`, mirroring bastion drain/restore.
+    Draining,
+    /// The node is unreachable (fault-plane outage). New sessions fail
+    /// closed; established sessions are not severed.
+    Unavailable,
 }
 
 impl std::fmt::Display for LoginError {
@@ -36,6 +45,8 @@ impl std::fmt::Display for LoginError {
             LoginError::NoSuchAccount(a) => write!(f, "no such account {a}"),
             LoginError::BadPossessionProof => write!(f, "key possession proof failed"),
             LoginError::AccountLocked => write!(f, "account locked"),
+            LoginError::Draining => write!(f, "login node draining"),
+            LoginError::Unavailable => write!(f, "login node unavailable"),
         }
     }
 }
@@ -80,6 +91,10 @@ pub struct LoginNode {
     sessions: ShardMap<ShellSession>,
     rng: Mutex<SimRng>,
     ids: IdGen,
+    /// Draining: refuse new sessions, keep established ones.
+    draining: AtomicBool,
+    /// Fault-plane hook consulted on `open_session` (component `login`).
+    faults: dri_fault::FaultHook,
 }
 
 impl LoginNode {
@@ -110,12 +125,32 @@ impl LoginNode {
             sessions: ShardMap::new(shards),
             rng: Mutex::new(rng),
             ids: IdGen::new("shell"),
+            draining: AtomicBool::new(false),
+            faults: dri_fault::FaultHook::new(),
         }
     }
 
     /// Update the trusted user-CA key.
     pub fn trust_ca(&self, key: VerifyingKey) {
         self.ca_key.store(PreparedVerifyingKey::new(&key));
+    }
+
+    /// Attach the shared fault-injection plane (chaos drills).
+    pub fn install_fault_plane(&self, plane: std::sync::Arc<dri_fault::FaultPlane>) {
+        self.faults.install(plane);
+    }
+
+    /// Start or stop draining the node. Draining refuses *new* sessions
+    /// with [`LoginError::Draining`] but — unlike `set_locked` — leaves
+    /// every established session running, so maintenance (or an HA
+    /// failover drill) never cuts live shells.
+    pub fn set_draining(&self, draining: bool) {
+        self.draining.store(draining, Ordering::Release);
+    }
+
+    /// Whether the node is currently draining.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
     }
 
     /// Provision a per-project UNIX account (driven from the portal).
@@ -165,6 +200,12 @@ impl LoginNode {
             dri_trace::Stage::Cluster,
             &[("account", account)],
         );
+        self.faults
+            .check("login")
+            .map_err(|_| LoginError::Unavailable)?;
+        if self.draining() {
+            return Err(LoginError::Draining);
+        }
         cert.verify_prepared(&self.ca_key.load(), self.clock.now_secs(), Some(account))
             .map_err(LoginError::Cert)?;
         let project = self
@@ -347,6 +388,54 @@ mod tests {
             Err(LoginError::AccountLocked)
         );
         f.node.set_locked("u123", false);
+        assert!(f
+            .node
+            .open_session(&c, "u123", |ch| f.user_key.sign(ch))
+            .is_ok());
+    }
+
+    #[test]
+    fn drain_refuses_new_sessions_but_keeps_established_ones() {
+        let f = fixture();
+        let c = cert(&f);
+        let session = f
+            .node
+            .open_session(&c, "u123", |ch| f.user_key.sign(ch))
+            .unwrap();
+        f.node.set_draining(true);
+        assert!(f.node.draining());
+        assert!(
+            f.node.session_alive(&session.id),
+            "drain must not sever live shells"
+        );
+        assert_eq!(
+            f.node.open_session(&c, "u123", |ch| f.user_key.sign(ch)),
+            Err(LoginError::Draining)
+        );
+        f.node.set_draining(false);
+        assert!(f
+            .node
+            .open_session(&c, "u123", |ch| f.user_key.sign(ch))
+            .is_ok());
+    }
+
+    #[test]
+    fn fault_plane_outage_fails_new_sessions_closed() {
+        let f = fixture();
+        let c = cert(&f);
+        let session = f
+            .node
+            .open_session(&c, "u123", |ch| f.user_key.sign(ch))
+            .unwrap();
+        let plan = dri_fault::FaultPlan::new(5).outage("login", 0, u64::MAX);
+        let plane = std::sync::Arc::new(dri_fault::FaultPlane::new(plan, f.clock.clone()));
+        f.node.install_fault_plane(plane.clone());
+        assert_eq!(
+            f.node.open_session(&c, "u123", |ch| f.user_key.sign(ch)),
+            Err(LoginError::Unavailable)
+        );
+        assert!(f.node.session_alive(&session.id));
+        plane.set_enabled(false);
         assert!(f
             .node
             .open_session(&c, "u123", |ch| f.user_key.sign(ch))

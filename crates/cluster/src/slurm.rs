@@ -69,6 +69,9 @@ pub enum SubmitError {
     TooManyNodes,
     /// Zero nodes or zero walltime.
     InvalidRequest,
+    /// The scheduler daemon is unreachable (fault-plane outage). New
+    /// submissions fail closed; already-running jobs are unaffected.
+    SchedulerUnavailable,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -77,6 +80,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
             SubmitError::TooManyNodes => write!(f, "request exceeds per-job node limit"),
             SubmitError::InvalidRequest => write!(f, "invalid request"),
+            SubmitError::SchedulerUnavailable => write!(f, "scheduler unavailable"),
         }
     }
 }
@@ -124,6 +128,10 @@ pub struct Scheduler {
     clock: SimClock,
     state: RwLock<SchedState>,
     ids: IdGen,
+    /// Fault-plane hook consulted on submission (component `slurm`). An
+    /// active fault makes *new* submissions fail closed; `tick`/`cancel`
+    /// stay fault-free so running jobs survive a scheduler outage.
+    faults: dri_fault::FaultHook,
 }
 
 impl Scheduler {
@@ -133,7 +141,13 @@ impl Scheduler {
             clock,
             state: RwLock::new(SchedState::default()),
             ids: IdGen::new("job"),
+            faults: dri_fault::FaultHook::new(),
         }
+    }
+
+    /// Attach the shared fault-injection plane (chaos drills).
+    pub fn install_fault_plane(&self, plane: std::sync::Arc<dri_fault::FaultPlane>) {
+        self.faults.install(plane);
     }
 
     /// Add a partition.
@@ -165,6 +179,9 @@ impl Scheduler {
             dri_trace::Stage::Cluster,
             &[("partition", partition)],
         );
+        self.faults
+            .check("slurm")
+            .map_err(|_| SubmitError::SchedulerUnavailable)?;
         if nodes == 0 || walltime_secs == 0 {
             return Err(SubmitError::InvalidRequest);
         }
@@ -461,6 +478,28 @@ mod tests {
         assert_eq!(s.drain_usage(), vec![("climate-llm".to_string(), 2.0)]);
         // Draining twice yields nothing.
         assert!(s.drain_usage().is_empty());
+    }
+
+    #[test]
+    fn scheduler_outage_fails_submission_closed_while_running_jobs_survive() {
+        let (s, clock) = sched();
+        let running = s.submit("u123", "climate-llm", "gh", 2, 3600).unwrap();
+        s.tick();
+        assert_eq!(s.job(&running).unwrap().state, JobState::Running);
+        let plan = dri_fault::FaultPlan::new(5).outage("slurm", 0, u64::MAX);
+        let plane = std::sync::Arc::new(dri_fault::FaultPlane::new(plan, clock.clone()));
+        s.install_fault_plane(plane.clone());
+        assert_eq!(
+            s.submit("u123", "climate-llm", "gh", 1, 60),
+            Err(SubmitError::SchedulerUnavailable)
+        );
+        // The running job keeps running and completes on schedule —
+        // tick and cancel never consult the fault plane.
+        clock.advance_secs(3600);
+        s.tick();
+        assert_eq!(s.job(&running).unwrap().state, JobState::Completed);
+        plane.set_enabled(false);
+        assert!(s.submit("u123", "climate-llm", "gh", 1, 60).is_ok());
     }
 
     #[test]

@@ -9,8 +9,12 @@
 //! decision the resilience layer takes is a pure function of
 //! `(seed, lane, attempt)`.
 
+use dri_broker::authz::AuthorizationSource;
+use dri_cluster::login::LoginError;
+use dri_cluster::slurm::{JobState, SubmitError};
 use dri_fault::FaultPlan;
 use dri_netsim::bastion::BastionError;
+use dri_netsim::tailnet::{TailnetError, TailnetNode};
 use dri_siem::events::{EventKind, SecurityEvent, Severity};
 
 use crate::flows::FlowError;
@@ -19,7 +23,8 @@ use crate::infra::Infrastructure;
 /// Outcome of one chaos drill.
 #[derive(Debug, Clone)]
 pub struct ChaosOutcome {
-    /// Drill name (`bastion-loss`, `idp-outage`, `killswitch-drill`).
+    /// Drill name (`bastion-loss`, `idp-outage`, `killswitch-drill`,
+    /// `scheduler-outage`, `login-drain`, `tailnet-storm`).
     pub scenario: &'static str,
     /// Deterministic ids of the faults the drill scheduled.
     pub fault_ids: Vec<String>,
@@ -298,6 +303,271 @@ impl Infrastructure {
             } else {
                 vec![fault_id]
             },
+            timeline,
+            checks,
+            retries: self.resilience.retries() - before_retries,
+            breaker_trips: self.resilience.breakers().trips() - before_trips,
+            degraded_logins: self.resilience.degraded_logins() - before_degraded,
+        })
+    }
+
+    /// **Budget-driven chaos admission.** A drill targeting `dependency`
+    /// may inject faults only while the dependency's *current* error-
+    /// budget window still has headroom — replacing fixed drill windows
+    /// with an adaptive gate: a dependency already burning its budget
+    /// (organically or from an earlier drill) is left alone until the
+    /// next window opens.
+    pub fn chaos_admitted(&self, dependency: &str) -> bool {
+        self.resilience
+            .budgets()
+            .has_headroom(dependency, self.clock.now_ms())
+    }
+
+    /// **Chaos day 4 — scheduler outage.** The Slurm control daemon goes
+    /// dark under a scheduled fault. New submissions fail *closed*
+    /// ([`SubmitError::SchedulerUnavailable`]) while already-running
+    /// jobs keep running and complete on schedule — `tick`/`cancel`
+    /// never consult the fault plane. The drill is budget-driven: the
+    /// `slurm` window is first seeded with healthy traffic, and fault
+    /// injection stops the moment the window's error budget is spent.
+    /// `label` must be an onboarded member of `project`.
+    pub fn chaos_scheduler_outage(
+        &self,
+        label: &str,
+        project: &str,
+    ) -> Result<ChaosOutcome, FlowError> {
+        let before_retries = self.resilience.retries();
+        let before_trips = self.resilience.breakers().trips();
+        let before_degraded = self.resilience.degraded_logins();
+        let mut timeline = Vec::new();
+        let mut checks = Vec::new();
+
+        self.federated_login(label)?;
+        let subject = self
+            .subject_of(label)
+            .ok_or_else(|| FlowError::NotLoggedIn(label.to_string()))?;
+        let account = self
+            .portal
+            .unix_accounts(&subject)
+            .into_iter()
+            .find(|(p, _)| p == project)
+            .map(|(_, a)| a)
+            .ok_or(FlowError::Jupyter(
+                dri_cluster::jupyter::JupyterError::NoAccount,
+            ))?;
+
+        // Seed the budget window with healthy traffic so exhaustion is a
+        // *rate* judgement, not a first-failure knee-jerk (an empty
+        // window's budget is spent by a single error).
+        let budgets = self.resilience.budgets();
+        let mut seeded = 0;
+        for _ in 0..20 {
+            match self.scheduler.submit(&account, project, "gh", 1, 60) {
+                Ok(id) => {
+                    budgets.record("slurm", self.clock.now_ms(), true);
+                    self.scheduler.cancel(&id);
+                    seeded += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        timeline.push(format!("baseline: {seeded} healthy submissions seeded"));
+        checks.push(("baseline traffic seeded the budget window", seeded == 20));
+
+        // One long job running before the outage — the survivor.
+        let survivor = self
+            .scheduler
+            .submit(&account, project, "gh", 1, 600)
+            .map_err(|e| FlowError::Jupyter(dri_cluster::jupyter::JupyterError::Spawn(e)))?;
+        self.scheduler.tick();
+        let running = self
+            .scheduler
+            .job(&survivor)
+            .is_some_and(|j| j.state == JobState::Running);
+        timeline.push(format!("job {survivor} running before the outage"));
+        checks.push(("survivor job running before the outage", running));
+
+        let admitted = self.chaos_admitted("slurm");
+        checks.push(("drill admitted with budget headroom", admitted));
+
+        let now = self.clock.now_ms();
+        let plan = FaultPlan::new(self.config.seed).outage("slurm", now, u64::MAX);
+        let fault_id = plan.fault_id(0);
+        let plane = self.install_fault_plan(plan);
+        timeline.push(format!("schedule {fault_id}: scheduler dark"));
+
+        // Inject while the budget allows; each refused submission burns
+        // budget, and exhaustion — not a fixed count — closes the drill.
+        let mut failed_closed = true;
+        let mut storm = 0;
+        while self.chaos_admitted("slurm") && storm < 50 {
+            let result = self.scheduler.submit(&account, project, "gh", 1, 60);
+            failed_closed &= matches!(result, Err(SubmitError::SchedulerUnavailable));
+            budgets.record("slurm", self.clock.now_ms(), false);
+            storm += 1;
+        }
+        plane.set_enabled(false);
+        timeline.push(format!(
+            "storm: {storm} submissions refused, budget exhausted, drill closed"
+        ));
+        checks.push((
+            "outage fails new submissions closed",
+            failed_closed && storm > 0,
+        ));
+        checks.push((
+            "budget exhaustion closed the drill",
+            storm < 50 && !self.chaos_admitted("slurm"),
+        ));
+
+        // The running job survives the whole outage and completes on
+        // schedule.
+        self.clock.advance_secs(600);
+        self.scheduler.tick();
+        let survived = self
+            .scheduler
+            .job(&survivor)
+            .is_some_and(|j| j.state == JobState::Completed);
+        timeline.push(format!("job {survivor} completed through the outage"));
+        checks.push(("running job survived the scheduler outage", survived));
+
+        // Disarmed plane + fresh window: submissions flow again.
+        let recovered = match self.scheduler.submit(&account, project, "gh", 1, 60) {
+            Ok(id) => {
+                budgets.record("slurm", self.clock.now_ms(), true);
+                self.scheduler.cancel(&id);
+                true
+            }
+            Err(_) => false,
+        };
+        timeline.push("recovery: submission accepted after disarm".to_string());
+        checks.push(("recovery submission accepted", recovered));
+
+        Ok(ChaosOutcome {
+            scenario: "scheduler-outage",
+            fault_ids: vec![fault_id],
+            timeline,
+            checks,
+            retries: self.resilience.retries() - before_retries,
+            breaker_trips: self.resilience.breakers().trips() - before_trips,
+            degraded_logins: self.resilience.degraded_logins() - before_degraded,
+        })
+    }
+
+    /// **Chaos day 5 — login-node drain.** The login node is drained for
+    /// maintenance, mirroring the bastion's drain/restore: established
+    /// shells keep running, *new* sessions are refused with
+    /// [`LoginError::Draining`], and restore resumes service. `label`
+    /// must be an onboarded member of `project`.
+    pub fn chaos_login_drain(&self, label: &str, project: &str) -> Result<ChaosOutcome, FlowError> {
+        let before_retries = self.resilience.retries();
+        let before_trips = self.resilience.breakers().trips();
+        let before_degraded = self.resilience.degraded_logins();
+        let mut timeline = Vec::new();
+        let mut checks = Vec::new();
+        let budgets = self.resilience.budgets();
+
+        let baseline = self.story4_ssh_connect(label, project)?;
+        budgets.record("login", self.clock.now_ms(), true);
+        let shell_id = baseline.shell.id.clone();
+        timeline.push(format!("baseline: shell {shell_id} established"));
+
+        self.login_node.set_draining(true);
+        timeline.push("login node draining for maintenance".to_string());
+
+        let alive = self.login_node.session_alive(&shell_id);
+        checks.push(("established shell survives the drain", alive));
+
+        let refused = matches!(
+            self.story4_ssh_connect(label, project),
+            Err(FlowError::Login(LoginError::Draining))
+        );
+        timeline.push("new session refused while draining".to_string());
+        checks.push(("draining node refuses new sessions", refused));
+
+        self.login_node.set_draining(false);
+        let restored = self.story4_ssh_connect(label, project).is_ok();
+        if restored {
+            budgets.record("login", self.clock.now_ms(), true);
+        }
+        timeline.push("restore: new sessions accepted again".to_string());
+        checks.push(("restore resumes service", restored));
+        checks.push((
+            "established shell alive end to end",
+            self.login_node.session_alive(&shell_id),
+        ));
+
+        Ok(ChaosOutcome {
+            scenario: "login-drain",
+            fault_ids: Vec::new(),
+            timeline,
+            checks,
+            retries: self.resilience.retries() - before_retries,
+            breaker_trips: self.resilience.breakers().trips() - before_trips,
+            degraded_logins: self.resilience.degraded_logins() - before_degraded,
+        })
+    }
+
+    /// **Chaos day 6 — tailnet lease-expiry storm.** Every user lease on
+    /// the admin tailnet is force-expired at once. Affected nodes lose
+    /// the overlay until they re-authenticate through the broker for a
+    /// fresh enrolment token; infrastructure enrolments and established
+    /// broker sessions are untouched, so re-auth needs no new login.
+    /// `label` must be a vetted administrator.
+    pub fn chaos_tailnet_storm(&self, label: &str) -> Result<ChaosOutcome, FlowError> {
+        let before_retries = self.resilience.retries();
+        let before_trips = self.resilience.breakers().trips();
+        let before_degraded = self.resilience.degraded_logins();
+        let mut timeline = Vec::new();
+        let mut checks = Vec::new();
+        let budgets = self.resilience.budgets();
+
+        self.admin_login(label)?;
+        let subject = self
+            .subject_of(label)
+            .ok_or_else(|| FlowError::NotLoggedIn(label.to_string()))?;
+        let (token, _) = self.token_for(label, "mgmt-tailnet", Vec::new())?;
+        let node_name = format!("{label}-storm-drill");
+        let node = TailnetNode::generate(&node_name, &mut self.rng.lock());
+        self.tailnet
+            .enroll(&node, &token)
+            .map_err(FlowError::Tailnet)?;
+        let baseline = self.tailnet.send(&node, "mdc-mgmt01", b"status").is_ok();
+        budgets.record("tailnet", self.clock.now_ms(), baseline);
+        timeline.push(format!("baseline: {node_name} enrolled, overlay path up"));
+        checks.push(("baseline overlay path works", baseline));
+
+        let expired = self.tailnet.expire_all_leases();
+        timeline.push(format!("storm: {expired} user leases force-expired"));
+        checks.push(("storm expired at least the drill lease", expired >= 1));
+
+        let cut = matches!(
+            self.tailnet.send(&node, "mdc-mgmt01", b"status"),
+            Err(TailnetError::NotEnrolled(_))
+        );
+        checks.push(("expired lease forces re-authentication", cut));
+
+        // The broker session established before the storm is untouched:
+        // re-auth is a token issuance, not a fresh login ceremony.
+        let session_alive = !self.broker.sessions_of_subject(&subject).is_empty();
+        checks.push(("broker session survives the storm", session_alive));
+
+        let (fresh, _) = self.token_for(label, "mgmt-tailnet", Vec::new())?;
+        self.tailnet
+            .enroll(&node, &fresh)
+            .map_err(FlowError::Tailnet)?;
+        let recovered = self.tailnet.send(&node, "mdc-mgmt01", b"status").is_ok();
+        budgets.record("tailnet", self.clock.now_ms(), recovered);
+        timeline.push("re-auth through the broker restored the overlay".to_string());
+        checks.push(("re-enrolment restores the overlay", recovered));
+
+        // Infrastructure enrolments never lapse: the management endpoint
+        // was reachable throughout.
+        let infra_intact = self.tailnet.public_key_of("mdc-mgmt01").is_some();
+        checks.push(("infrastructure enrolment untouched", infra_intact));
+
+        Ok(ChaosOutcome {
+            scenario: "tailnet-storm",
+            fault_ids: Vec::new(),
             timeline,
             checks,
             retries: self.resilience.retries() - before_retries,

@@ -15,6 +15,12 @@ pub enum ConfigError {
     ShardsNotPowerOfTwo(usize),
     /// The edge window must be long enough to score rates at all.
     WindowTooShort(u64),
+    /// The error-budget window must be long enough to accumulate
+    /// outcomes at all.
+    BudgetWindowTooShort(u64),
+    /// The error-budget SLO is expressed in per-mille of calls and
+    /// cannot exceed 1000.
+    SloOutOfRange(u16),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -29,6 +35,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::WindowTooShort(ms) => {
                 write!(f, "edge_window_ms {ms} too short (minimum 10ms)")
+            }
+            ConfigError::BudgetWindowTooShort(ms) => {
+                write!(f, "budget_window_ms {ms} too short (minimum 1000ms)")
+            }
+            ConfigError::SloOutOfRange(pm) => {
+                write!(f, "budget_slo_per_mille {pm} outside 0..=1000")
             }
         }
     }
@@ -90,6 +102,12 @@ pub struct InfraConfig {
     /// experiments). `None` leaves the fault plane uninstalled — the
     /// hooks cost one relaxed load per hop.
     pub fault_plan: Option<dri_fault::FaultPlan>,
+    /// Error-budget accounting window (simulated ms). Budgets divide
+    /// sim time into windows of this width per dependency.
+    pub budget_window_ms: u64,
+    /// Error-budget SLO: required success rate in per-mille of calls
+    /// (900 = 90.0%, leaving a 100‰ error budget per window).
+    pub budget_slo_per_mille: u16,
 }
 
 impl Default for InfraConfig {
@@ -114,6 +132,8 @@ impl Default for InfraConfig {
             verification_cache: true,
             hpc_fabric_encryption: false,
             fault_plan: None,
+            budget_window_ms: 60_000,
+            budget_slo_per_mille: 900,
         }
     }
 }
@@ -198,6 +218,18 @@ impl InfraConfigBuilder {
         self
     }
 
+    /// Set the error-budget accounting window (simulated ms).
+    pub fn budget_window_ms(mut self, window_ms: u64) -> Self {
+        self.cfg.budget_window_ms = window_ms;
+        self
+    }
+
+    /// Set the error-budget SLO in per-mille of calls (900 = 90.0%).
+    pub fn budget_slo_per_mille(mut self, slo: u16) -> Self {
+        self.cfg.budget_slo_per_mille = slo;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<InfraConfig, ConfigError> {
         let cfg = self.cfg;
@@ -218,6 +250,12 @@ impl InfraConfigBuilder {
         }
         if cfg.edge_window_ms < 10 {
             return Err(ConfigError::WindowTooShort(cfg.edge_window_ms));
+        }
+        if cfg.budget_window_ms < 1_000 {
+            return Err(ConfigError::BudgetWindowTooShort(cfg.budget_window_ms));
+        }
+        if cfg.budget_slo_per_mille > 1000 {
+            return Err(ConfigError::SloOutOfRange(cfg.budget_slo_per_mille));
         }
         Ok(cfg)
     }
@@ -304,5 +342,33 @@ mod tests {
                 .unwrap_err(),
             ConfigError::WindowTooShort(1)
         );
+        assert_eq!(
+            InfraConfig::builder()
+                .budget_window_ms(500)
+                .build()
+                .unwrap_err(),
+            ConfigError::BudgetWindowTooShort(500)
+        );
+        assert_eq!(
+            InfraConfig::builder()
+                .budget_slo_per_mille(1001)
+                .build()
+                .unwrap_err(),
+            ConfigError::SloOutOfRange(1001)
+        );
+    }
+
+    #[test]
+    fn budget_fields_default_and_build() {
+        let c = InfraConfig::default();
+        assert_eq!(c.budget_window_ms, 60_000);
+        assert_eq!(c.budget_slo_per_mille, 900);
+        let c = InfraConfig::builder()
+            .budget_window_ms(30_000)
+            .budget_slo_per_mille(950)
+            .build()
+            .unwrap();
+        assert_eq!(c.budget_window_ms, 30_000);
+        assert_eq!(c.budget_slo_per_mille, 950);
     }
 }

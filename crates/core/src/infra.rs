@@ -35,7 +35,7 @@ use dri_sshca::ca::SshCa;
 use dri_trace::{Stage, Tracer};
 use parking_lot::{Mutex, RwLock};
 
-use dri_fault::BreakerState;
+use dri_fault::{BreakerState, BudgetConfig};
 
 use crate::config::InfraConfig;
 use crate::flows::FlowError;
@@ -381,7 +381,13 @@ impl Infrastructure {
 
         // Resilience layer: per-(dependency, lane) circuit breakers whose
         // transitions land in the SIEM and on the active flow's span.
-        let resilience = Resilience::new(config.seed);
+        let resilience = Resilience::new(
+            config.seed,
+            BudgetConfig {
+                window_ms: config.budget_window_ms,
+                slo_per_mille: config.budget_slo_per_mille,
+            },
+        );
         {
             let siem = siem.clone();
             resilience.breakers.set_sink(Arc::new(move |t| {
@@ -970,13 +976,27 @@ impl Infrastructure {
         n
     }
 
-    /// Consult the PDP (tenet 4) and count the consultation.
+    /// Consult the PDP (tenet 4) and count the consultation. Every
+    /// consultation — memo hit or full trust evaluation — opens a
+    /// `policy.decide` span, so the SIEM's trace-shape audit can prove
+    /// a flow was vetted before its credential issuance (an `sshca`
+    /// span with no preceding `policy` span is a PDP bypass).
     pub fn pdp_decide(
         &self,
         req: &dri_policy::trust::AccessRequest,
     ) -> dri_policy::trust::AccessDecision {
+        let _span = dri_trace::span_with(
+            "policy.decide",
+            Stage::Policy,
+            &[("policy.resource", req.resource.as_str())],
+        );
         self.pdp_consultations.fetch_add(1, Ordering::Relaxed);
-        self.pdp.decide(req)
+        let decision = self.pdp.decide(req);
+        dri_trace::add_attr(
+            "policy.allow",
+            if decision.allow { "true" } else { "false" },
+        );
+        decision
     }
 
     /// PDP consultations so far (tenet-audit evidence).

@@ -87,7 +87,21 @@ pub struct MetricsSnapshot {
     /// Logins that succeeded in degraded (last-resort failover) mode.
     pub degraded_logins: u64,
     /// Failures injected by the fault plane (0 when no plan installed).
+    /// Cumulative across plan re-installs: replacing the plane rolls its
+    /// counter into a prior total rather than resetting it.
     pub faults_injected: u64,
+    /// Failures injected per dependency (component category), sorted by
+    /// name. Cumulative across plan re-installs like `faults_injected`:
+    /// a replaced plane's per-component counts are rolled into a prior
+    /// map and merged into every later snapshot, so a chaos campaign
+    /// spanning several plans reads as one continuous series.
+    pub faults_by_dependency: Vec<(String, u64)>,
+    /// Retries performed per dependency, sorted by name. Lifetime
+    /// counters — never reset on plan re-install.
+    pub retries_by_dependency: Vec<(String, u64)>,
+    /// Error-budget windows that have spent their budget so far (across
+    /// all dependencies and windows).
+    pub budget_windows_exhausted: usize,
     // Observability layer.
     /// Flow traces recorded.
     pub traces_recorded: usize,
@@ -127,6 +141,15 @@ impl Infrastructure {
             breaker_rejections: self.resilience.breakers().rejections(),
             degraded_logins: self.resilience.degraded_logins(),
             faults_injected: self.resilience.faults_injected(),
+            faults_by_dependency: self.resilience.faults_by_dependency(),
+            retries_by_dependency: self.resilience.retries_by_dependency(),
+            budget_windows_exhausted: self
+                .resilience
+                .budgets()
+                .timeline()
+                .iter()
+                .filter(|w| w.exhausted)
+                .count(),
             traces_recorded: self.tracer.trace_count(),
             stage_latencies: self
                 .tracer

@@ -8,6 +8,7 @@
 //! a lane's admits and records happen in program order on whichever
 //! thread runs that flow, and lanes never share mutable state.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -71,6 +72,12 @@ pub struct BreakerTransition {
     pub to: BreakerState,
     /// Simulated time of the transition (ms).
     pub at_ms: u64,
+    /// 1-based position of this transition in its lane's history. The
+    /// triple `(dependency, lane, seq)` totally orders a run's
+    /// transitions regardless of thread interleaving — sorting by it
+    /// yields the byte-comparable breaker timeline the determinism
+    /// tests diff serial vs parallel.
+    pub seq: u64,
 }
 
 /// Observer for breaker transitions.
@@ -103,6 +110,15 @@ struct LaneState {
     consecutive_failures: u32,
     opened_at_ms: u64,
     probes_used: u32,
+    /// Transitions this lane has emitted (feeds `BreakerTransition::seq`).
+    transitions: u64,
+}
+
+impl LaneState {
+    fn next_seq(&mut self) -> u64 {
+        self.transitions += 1;
+        self.transitions
+    }
 }
 
 impl LaneState {
@@ -121,6 +137,9 @@ const BREAKER_SHARDS: usize = 16;
 /// The breaker registry: one logical breaker per `(dependency, lane)`.
 pub struct CircuitBreakers {
     config: BreakerConfig,
+    /// Per-dependency threshold overrides installed by the SIEM
+    /// feedback loop; absent dependencies use the base `config`.
+    overrides: RwLock<HashMap<String, BreakerConfig>>,
     lanes: ShardMap<LaneState>,
     trips: AtomicU64,
     rejections: AtomicU64,
@@ -132,6 +151,7 @@ impl CircuitBreakers {
     pub fn new(config: BreakerConfig) -> CircuitBreakers {
         CircuitBreakers {
             config,
+            overrides: RwLock::new(HashMap::new()),
             lanes: ShardMap::new(BREAKER_SHARDS),
             trips: AtomicU64::new(0),
             rejections: AtomicU64::new(0),
@@ -139,9 +159,47 @@ impl CircuitBreakers {
         }
     }
 
-    /// The configured thresholds.
+    /// The base thresholds (ignoring per-dependency overrides).
     pub fn config(&self) -> &BreakerConfig {
         &self.config
+    }
+
+    /// The thresholds in effect for one dependency: its override if the
+    /// feedback loop installed one, the base config otherwise.
+    pub fn config_for(&self, dependency: &str) -> BreakerConfig {
+        self.overrides
+            .read()
+            .get(dependency)
+            .cloned()
+            .unwrap_or_else(|| self.config.clone())
+    }
+
+    /// Install (or replace) a per-dependency threshold override. Only
+    /// call this at quiescent points (window boundaries) — changing
+    /// thresholds mid-storm would make breaker timelines depend on
+    /// thread interleaving.
+    pub fn set_dependency_config(&self, dependency: &str, config: BreakerConfig) {
+        self.overrides
+            .write()
+            .insert(dependency.to_string(), config);
+    }
+
+    /// Drop a per-dependency override, reverting to the base config.
+    pub fn clear_dependency_config(&self, dependency: &str) {
+        self.overrides.write().remove(dependency);
+    }
+
+    /// All installed overrides, sorted by dependency (deterministic for
+    /// feedback-loop assertions).
+    pub fn dependency_overrides(&self) -> Vec<(String, BreakerConfig)> {
+        let mut out: Vec<(String, BreakerConfig)> = self
+            .overrides
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Install the transition observer.
@@ -186,6 +244,7 @@ impl CircuitBreakers {
         now_ms: u64,
     ) -> Result<BreakerState, BreakerOpen> {
         let key = Self::key(dependency, lane);
+        let config = self.config_for(dependency);
         let mut transitions = Vec::new();
         let decision = {
             let mut shard = self.lanes.write_shard(&key);
@@ -193,7 +252,7 @@ impl CircuitBreakers {
             match st.state() {
                 BreakerState::Closed => Ok(BreakerState::Closed),
                 BreakerState::Open => {
-                    if now_ms >= st.opened_at_ms.saturating_add(self.config.open_ms) {
+                    if now_ms >= st.opened_at_ms.saturating_add(config.open_ms) {
                         st.state = 2;
                         st.probes_used = 0;
                         transitions.push(BreakerTransition {
@@ -202,8 +261,9 @@ impl CircuitBreakers {
                             from: BreakerState::Open,
                             to: BreakerState::HalfOpen,
                             at_ms: now_ms,
+                            seq: st.next_seq(),
                         });
-                        if st.probes_used < self.config.probe_budget {
+                        if st.probes_used < config.probe_budget {
                             st.probes_used += 1;
                             Ok(BreakerState::HalfOpen)
                         } else {
@@ -214,7 +274,7 @@ impl CircuitBreakers {
                     }
                 }
                 BreakerState::HalfOpen => {
-                    if st.probes_used < self.config.probe_budget {
+                    if st.probes_used < config.probe_budget {
                         st.probes_used += 1;
                         Ok(BreakerState::HalfOpen)
                     } else {
@@ -236,6 +296,7 @@ impl CircuitBreakers {
     /// Report the outcome of an admitted call.
     pub fn record(&self, dependency: &str, lane: &str, now_ms: u64, success: bool) {
         let key = Self::key(dependency, lane);
+        let config = self.config_for(dependency);
         let mut transitions = Vec::new();
         {
             let mut shard = self.lanes.write_shard(&key);
@@ -245,7 +306,7 @@ impl CircuitBreakers {
                 (BreakerState::Closed, true) => st.consecutive_failures = 0,
                 (BreakerState::Closed, false) => {
                     st.consecutive_failures += 1;
-                    if st.consecutive_failures >= self.config.failure_threshold {
+                    if st.consecutive_failures >= config.failure_threshold {
                         st.state = 1;
                         st.opened_at_ms = now_ms;
                         self.trips.fetch_add(1, Ordering::Relaxed);
@@ -255,6 +316,7 @@ impl CircuitBreakers {
                             from,
                             to: BreakerState::Open,
                             at_ms: now_ms,
+                            seq: st.next_seq(),
                         });
                     }
                 }
@@ -268,6 +330,7 @@ impl CircuitBreakers {
                         from,
                         to: BreakerState::Closed,
                         at_ms: now_ms,
+                        seq: st.next_seq(),
                     });
                 }
                 (BreakerState::HalfOpen, false) => {
@@ -281,6 +344,7 @@ impl CircuitBreakers {
                         from,
                         to: BreakerState::Open,
                         at_ms: now_ms,
+                        seq: st.next_seq(),
                     });
                 }
                 // A late record against an Open breaker (shouldn't
@@ -295,12 +359,11 @@ impl CircuitBreakers {
     /// window as HalfOpen (read-only; no transition is emitted).
     pub fn state(&self, dependency: &str, lane: &str, now_ms: u64) -> BreakerState {
         let key = Self::key(dependency, lane);
+        let open_ms = self.config_for(dependency).open_ms;
         let shard = self.lanes.read_shard(&key);
         match shard.get(&key) {
             Some(st) => match st.state() {
-                BreakerState::Open
-                    if now_ms >= st.opened_at_ms.saturating_add(self.config.open_ms) =>
-                {
+                BreakerState::Open if now_ms >= st.opened_at_ms.saturating_add(open_ms) => {
                     BreakerState::HalfOpen
                 }
                 s => s,
@@ -418,6 +481,51 @@ mod tests {
                 (BreakerState::HalfOpen, BreakerState::Closed),
             ]
         );
+    }
+
+    #[test]
+    fn transition_seq_totally_orders_a_lane() {
+        let b = breakers();
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let s2 = seen.clone();
+        b.set_sink(Arc::new(move |t| {
+            s2.lock().unwrap().push(t.seq);
+        }));
+        for _ in 0..3 {
+            b.admit("idp", "alice", 0).unwrap();
+            b.record("idp", "alice", 0, false);
+        }
+        b.admit("idp", "alice", 30_000).unwrap();
+        b.record("idp", "alice", 30_000, true);
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn dependency_overrides_tighten_and_revert() {
+        let b = breakers();
+        b.set_dependency_config(
+            "idp",
+            BreakerConfig {
+                failure_threshold: 1,
+                open_ms: 60_000,
+                probe_budget: 1,
+            },
+        );
+        // One failure now trips the tightened breaker...
+        b.admit("idp", "alice", 0).unwrap();
+        b.record("idp", "alice", 0, false);
+        assert_eq!(b.state("idp", "alice", 0), BreakerState::Open);
+        // ...and the longer open window applies.
+        assert!(b.admit("idp", "alice", 30_000).is_err());
+        assert_eq!(b.admit("idp", "alice", 60_000), Ok(BreakerState::HalfOpen));
+        // Other dependencies keep the base thresholds.
+        b.admit("broker", "alice", 0).unwrap();
+        b.record("broker", "alice", 0, false);
+        assert_eq!(b.state("broker", "alice", 0), BreakerState::Closed);
+        assert_eq!(b.dependency_overrides().len(), 1);
+        b.clear_dependency_config("idp");
+        assert_eq!(b.config_for("idp"), *b.config());
+        assert!(b.dependency_overrides().is_empty());
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //!   breakers with probe budgets. State is kept per *(dependency, lane)*
 //!   where the lane is the flow key, so breaker behaviour is identical
 //!   under any worker count; transitions are surfaced through a sink
-//!   (dri-core wires it to the SIEM).
+//!   (dri-core wires it to the SIEM). Per-dependency config overrides
+//!   let the SIEM feedback loop tighten or relax thresholds at window
+//!   boundaries.
+//! * [`ErrorBudgets`] — SRE-style per-dependency, per-window error
+//!   budgets (SLO target + burn-rate accounting over sim-time windows).
+//!   Commutative counters make the budget state a pure function of the
+//!   outcome multiset, independent of thread interleaving.
 //!
 //! The crate is substrate-only: it knows nothing about IdPs or bastions.
 //! dri-core owns the wiring (which hops consult the plane, what counts
@@ -25,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod breaker;
+pub mod budget;
 pub mod hook;
 pub mod plan;
 pub mod retry;
@@ -32,6 +39,7 @@ pub mod retry;
 pub use breaker::{
     BreakerConfig, BreakerOpen, BreakerState, BreakerTransition, CircuitBreakers, TransitionSink,
 };
+pub use budget::{BudgetConfig, BudgetWindow, ErrorBudgets};
 pub use hook::FaultHook;
 pub use plan::{FaultKind, FaultPlan, FaultPlane, FaultSpec, InjectedFault};
 pub use retry::RetryPolicy;

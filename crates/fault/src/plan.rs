@@ -151,6 +151,9 @@ pub struct FaultPlane {
     enabled: AtomicBool,
     failures_injected: AtomicU64,
     latency_spans_injected: AtomicU64,
+    /// Failures injected per component *category* (`idp`, `slurm`, …) —
+    /// the per-dependency breakdown surfaced through `MetricsSnapshot`.
+    failures_by_component: ShardMap<u64>,
     /// Per `(spec index, component, lane)` attempt counters feeding the
     /// flaky roll. Each lane (= flow) advances its own counter in
     /// program order, so rolls are identical under any worker count.
@@ -166,6 +169,7 @@ impl FaultPlane {
             enabled: AtomicBool::new(true),
             failures_injected: AtomicU64::new(0),
             latency_spans_injected: AtomicU64::new(0),
+            failures_by_component: ShardMap::new(LANE_SHARDS),
             flaky_counters: ShardMap::new(LANE_SHARDS),
         }
     }
@@ -196,6 +200,17 @@ impl FaultPlane {
         self.latency_spans_injected.load(Ordering::Relaxed)
     }
 
+    /// Failures injected so far, broken down by component category and
+    /// sorted by name. The sum over all categories equals
+    /// [`failures_injected`](Self::failures_injected).
+    pub fn failures_by_component(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        self.failures_by_component
+            .for_each(|k, &v| out.push((k.to_string(), v)));
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Does `spec` target `component` (exact id or bare category)?
     fn matches(spec: &FaultSpec, component: &str) -> bool {
         if spec.component == component {
@@ -214,6 +229,8 @@ impl FaultPlane {
             "bastion" => dri_trace::Stage::Bastion,
             "edge" => dri_trace::Stage::Edge,
             "tunnel" => dri_trace::Stage::Tunnel,
+            "slurm" | "login" => dri_trace::Stage::Cluster,
+            "tailnet" => dri_trace::Stage::Tailnet,
             _ => dri_trace::Stage::Flow,
         }
     }
@@ -294,6 +311,11 @@ impl FaultPlane {
     fn fail(&self, index: usize, component: &str) -> InjectedFault {
         let fault_id = self.plan.fault_id(index);
         self.failures_injected.fetch_add(1, Ordering::Relaxed);
+        let category = component.split(':').next().unwrap_or(component);
+        {
+            let mut shard = self.failures_by_component.write_shard(category);
+            *shard.entry(category.to_string()).or_insert(0) += 1;
+        }
         dri_trace::add_attr("fault.injected", &fault_id);
         dri_trace::add_attr("fault.component", component);
         InjectedFault {
@@ -333,6 +355,25 @@ mod tests {
         clock.set(3_000);
         assert!(p.apply("broker").is_ok(), "window end is exclusive");
         assert_eq!(p.failures_injected(), 1);
+        assert_eq!(p.failures_by_component(), vec![("broker".to_string(), 1)]);
+    }
+
+    #[test]
+    fn per_component_counters_aggregate_instances_by_category() {
+        let (p, clock) = plane(
+            FaultPlan::new(7)
+                .outage("idp", 0, 10_000)
+                .outage("slurm", 0, 10_000),
+        );
+        clock.set(500);
+        assert!(p.apply("idp:https://idp.bristol.ac.uk").is_err());
+        assert!(p.apply("idp:https://idp.cardiff.ac.uk").is_err());
+        assert!(p.apply("slurm").is_err());
+        assert_eq!(
+            p.failures_by_component(),
+            vec![("idp".to_string(), 2), ("slurm".to_string(), 1)]
+        );
+        assert_eq!(p.failures_injected(), 3);
     }
 
     #[test]

@@ -94,6 +94,9 @@ pub enum TailnetError {
     TailnetDown,
     /// Frame failed authentication (tamper or wrong keys).
     DecryptFailed,
+    /// Coordination server unreachable (fault-plane outage). Enrolment
+    /// and sends fail closed; existing leases are untouched.
+    Unavailable,
 }
 
 impl std::fmt::Display for TailnetError {
@@ -106,6 +109,7 @@ impl std::fmt::Display for TailnetError {
             TailnetError::NodeDisabled(n) => write!(f, "node {n} disabled"),
             TailnetError::TailnetDown => write!(f, "tailnet disabled by kill switch"),
             TailnetError::DecryptFailed => write!(f, "frame authentication failed"),
+            TailnetError::Unavailable => write!(f, "coordination server unavailable"),
         }
     }
 }
@@ -134,6 +138,8 @@ pub struct Tailnet {
     acl: RwLock<Vec<(String, String)>>, // (from, to) node-name pairs; "*" wildcard
     down: RwLock<bool>,
     nonce_counter: Mutex<u64>,
+    /// Fault-plane hook consulted on enrol/send (component `tailnet`).
+    faults: dri_fault::FaultHook,
 }
 
 impl Tailnet {
@@ -149,12 +155,34 @@ impl Tailnet {
             acl: RwLock::new(Vec::new()),
             down: RwLock::new(false),
             nonce_counter: Mutex::new(0),
+            faults: dri_fault::FaultHook::new(),
         }
     }
 
     /// Refresh the JWKS snapshot (key rotation).
     pub fn update_jwks(&self, jwks: Jwks) {
         self.jwks.store(jwks);
+    }
+
+    /// Attach the shared fault-injection plane (chaos drills).
+    pub fn install_fault_plane(&self, plane: std::sync::Arc<dri_fault::FaultPlane>) {
+        self.faults.install(plane);
+    }
+
+    /// Force-expire every *user* lease (infrastructure enrolments, whose
+    /// leases never lapse, are untouched). Returns how many leases were
+    /// invalidated. This is the lease-expiry-storm drill: every affected
+    /// node must re-authenticate through the broker to re-enrol, while
+    /// nothing established elsewhere (broker sessions, shells) is cut.
+    pub fn expire_all_leases(&self) -> usize {
+        let mut expired = 0;
+        for e in self.nodes.write().values_mut() {
+            if e.lease_expires_at != u64::MAX {
+                e.lease_expires_at = 0;
+                expired += 1;
+            }
+        }
+        expired
     }
 
     /// Permit `from` to reach `to` (`"*"` is a wildcard).
@@ -169,6 +197,9 @@ impl Tailnet {
             dri_trace::Stage::Tailnet,
             &[("node", &node.name)],
         );
+        self.faults
+            .check("tailnet")
+            .map_err(|_| TailnetError::Unavailable)?;
         let now = self.clock.now_secs();
         let claims = self
             .jwks
@@ -255,6 +286,9 @@ impl Tailnet {
             dri_trace::Stage::Tailnet,
             &[("from", &from_node.name), ("to", to)],
         );
+        self.faults
+            .check("tailnet")
+            .map_err(|_| TailnetError::Unavailable)?;
         let (_from_pub, to_pub) = self.check_path(&from_node.name, to)?;
         let mut nonce = [0u8; 12];
         let mut counter = self.nonce_counter.lock();
@@ -492,6 +526,56 @@ mod tests {
             Err(TailnetError::TailnetDown)
         );
         f.tailnet.restore();
+        assert!(f.tailnet.send(&laptop, "mdc-mgmt01", b"x").is_ok());
+    }
+
+    #[test]
+    fn lease_expiry_storm_spares_infrastructure_and_allows_reenrolment() {
+        let f = fixture();
+        let mut rng = SimRng::seed_from_u64(7);
+        let laptop = TailnetNode::generate("dave-laptop", &mut rng);
+        let mgmt = TailnetNode::generate("mdc-mgmt01", &mut rng);
+        f.tailnet.enroll(&laptop, &admin_token(&f)).unwrap();
+        f.tailnet.enroll_infrastructure(&mgmt);
+        f.tailnet.allow("*", "*");
+        assert!(f.tailnet.send(&laptop, "mdc-mgmt01", b"x").is_ok());
+
+        // The storm invalidates the user lease but not the infra one.
+        assert_eq!(f.tailnet.expire_all_leases(), 1);
+        assert_eq!(
+            f.tailnet.send(&laptop, "mdc-mgmt01", b"x"),
+            Err(TailnetError::NotEnrolled("dave-laptop".into()))
+        );
+        // Re-auth through the broker restores the path.
+        f.tailnet.enroll(&laptop, &admin_token(&f)).unwrap();
+        assert!(f.tailnet.send(&laptop, "mdc-mgmt01", b"x").is_ok());
+        // Repeat storms are idempotent over infra nodes.
+        assert_eq!(f.tailnet.expire_all_leases(), 1);
+    }
+
+    #[test]
+    fn fault_plane_outage_fails_enrol_and_send_closed() {
+        let f = fixture();
+        let mut rng = SimRng::seed_from_u64(8);
+        let laptop = TailnetNode::generate("dave-laptop", &mut rng);
+        let mgmt = TailnetNode::generate("mdc-mgmt01", &mut rng);
+        f.tailnet.enroll(&laptop, &admin_token(&f)).unwrap();
+        f.tailnet.enroll_infrastructure(&mgmt);
+        f.tailnet.allow("*", "*");
+
+        let plan = dri_fault::FaultPlan::new(5).outage("tailnet", 0, u64::MAX);
+        let plane = std::sync::Arc::new(dri_fault::FaultPlane::new(plan, f.clock.clone()));
+        f.tailnet.install_fault_plane(plane.clone());
+        assert_eq!(
+            f.tailnet.send(&laptop, "mdc-mgmt01", b"x"),
+            Err(TailnetError::Unavailable)
+        );
+        assert_eq!(
+            f.tailnet.enroll(&laptop, &admin_token(&f)),
+            Err(TailnetError::Unavailable)
+        );
+        // Leases were never touched: recovery is instant on disarm.
+        plane.set_enabled(false);
         assert!(f.tailnet.send(&laptop, "mdc-mgmt01", b"x").is_ok());
     }
 

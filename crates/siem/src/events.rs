@@ -48,6 +48,14 @@ pub enum EventKind {
     DegradedLogin,
     /// The fault plane injected a failure into a hop.
     FaultInjected,
+    /// Trace-shape detection: a flow reached the SSH CA without a
+    /// preceding policy evaluation (PDP bypass).
+    PdpBypass,
+    /// A dependency spent its error budget for the current window.
+    BudgetExhausted,
+    /// The SIEM feedback loop tightened or relaxed resilience
+    /// thresholds (breaker config / retry budget) for a dependency.
+    BudgetFeedback,
 }
 
 /// One event in the pipeline.

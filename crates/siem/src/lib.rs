@@ -12,7 +12,10 @@
 //!   monitor (NCC-style) and kill-switch recommendations;
 //! * [`inventory`] — asset/software inventory matched against a
 //!   vulnerability feed;
-//! * [`cis`] — configuration checks and a compliance score.
+//! * [`cis`] — configuration checks and a compliance score;
+//! * [`shape`] — trace-shape detection rules over the span tree itself
+//!   (first rule: `sshca` span with no preceding `policy` span = PDP
+//!   bypass).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,10 +24,12 @@ pub mod anomaly;
 pub mod cis;
 pub mod events;
 pub mod inventory;
+pub mod shape;
 pub mod siem;
 
 pub use anomaly::{AnomalyConfig, AnomalyDetector, RateAnomaly};
 pub use cis::{CisCheck, CisReport, ConfigSnapshot};
 pub use events::{EventKind, SecurityEvent, Severity};
 pub use inventory::{Inventory, VulnFinding, Vulnerability};
+pub use shape::{find_pdp_bypasses, pdp_bypass_events, PdpBypassFinding};
 pub use siem::{Alert, DetectionConfig, Siem};

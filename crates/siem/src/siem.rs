@@ -282,6 +282,16 @@ impl Siem {
                 Severity::Warning,
                 "notify-user",
             ),
+            // Trace-shape finding: a single PDP bypass is already an
+            // incident — no windowed accumulation needed.
+            EventKind::PdpBypass => (
+                "pdp-bypass",
+                event.subject.clone(),
+                1,
+                60_000,
+                Severity::Critical,
+                "revoke-subject",
+            ),
             _ => {
                 state.store(event);
                 return None;

@@ -39,11 +39,13 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
                 // The `cache.` prefix is reserved for hit/miss
                 // observations whose values depend on thread
                 // interleaving (a parallel storm races on the first
-                // miss) and on whether the caches are enabled. They are
-                // excluded from the export so a seed yields
-                // byte-identical traces serial vs parallel and cache on
-                // vs off.
-                if k.starts_with("cache.") {
+                // miss) and on whether the caches are enabled; the
+                // `budget.` prefix carries error-budget burn readings
+                // whose values race the same way (many lanes feed one
+                // window's counters). Both are excluded from the export
+                // so a seed yields byte-identical traces serial vs
+                // parallel and cache on vs off.
+                if k.starts_with("cache.") || k.starts_with("budget.") {
                     continue;
                 }
                 args.insert(format!("attr.{k}"), Value::s(v.clone()));
@@ -263,6 +265,23 @@ mod tests {
             assert_eq!(ev.get("ph").unwrap().as_str(), Some("X"));
             assert!(ev.get("dur").unwrap().as_u64().unwrap() >= 1);
         }
+    }
+
+    #[test]
+    fn racy_attr_prefixes_are_excluded_from_chrome_export() {
+        let t = Arc::new(Tracer::new(42, 4, SimClock::new()));
+        t.set_enabled(true);
+        {
+            let _f = flow(&t, "alice", "login", Stage::Flow);
+            let _a = span("broker.establish", Stage::Broker);
+            crate::tracer::add_attr("cache.token", "hit");
+            crate::tracer::add_attr("budget.burn_per_mille", "130");
+            crate::tracer::add_attr("audience", "jupyter");
+        }
+        let out = chrome_trace(&t.all_spans());
+        assert!(!out.contains("cache.token"));
+        assert!(!out.contains("budget.burn_per_mille"));
+        assert!(out.contains("attr.audience"));
     }
 
     #[test]

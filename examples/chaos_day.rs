@@ -1,19 +1,22 @@
-//! Chaos day: the three scripted resilience drills from the fault plane
-//! — bastion loss, home-IdP outage with last-resort failover, and a
-//! kill-switch drill under an active fault — followed by a trace-shape
-//! audit and the fault-plane overhead guard.
+//! Chaos day: the six scripted resilience drills from the fault plane —
+//! bastion loss, home-IdP outage with last-resort failover, a
+//! kill-switch drill under an active fault, a scheduler outage, a
+//! login-node drain, and a tailnet lease-expiry storm — followed by the
+//! error-budget ledger, the SIEM feedback pass, a trace-shape audit,
+//! and the fault-plane overhead guard.
 //!
 //! Every drill is deterministic: same seed, same fault ids, same
 //! timeline, same trace bytes. The process exits nonzero if any drill
 //! check fails, if the trace shape is missing its resilience markers,
-//! or if a *disabled* fault plane costs more than 2% on the E9-style
-//! notebook storm.
+//! if the PDP-bypass audit finds a flow that skipped policy, or if a
+//! *disabled* fault plane costs more than 2% on the E9-style notebook
+//! storm.
 //!
 //! ```sh
 //! cargo run --release --example chaos_day
 //! ```
 
-use isambard_dri::core::{ChaosOutcome, InfraConfig, Infrastructure};
+use isambard_dri::core::{ChaosOutcome, FeedbackAction, InfraConfig, Infrastructure};
 use isambard_dri::fault::FaultPlan;
 use isambard_dri::workload::{build_population, run_storm, StormMode};
 
@@ -142,6 +145,105 @@ fn main() {
         .expect("killswitch drill");
     print_outcome(&drill);
     failed |= !drill.passed();
+
+    // Drills 4–6: the cluster data plane, all on one infrastructure so
+    // the error-budget ledger reads as one continuous campaign.
+    let infra = onboarded();
+
+    // Drill 4: scheduler outage — budget-gated fault injection, new
+    // submissions fail closed, the running job survives and completes.
+    let sched = infra
+        .chaos_scheduler_outage("alice", "climate-llm")
+        .expect("scheduler drill");
+    print_outcome(&sched);
+    failed |= !sched.passed();
+
+    // Drill 5: login-node drain — established shells survive, new
+    // sessions are refused until restore.
+    let login = infra
+        .chaos_login_drain("alice", "climate-llm")
+        .expect("login drill");
+    print_outcome(&login);
+    failed |= !login.passed();
+
+    // Drill 6: tailnet lease-expiry storm — expired leases force
+    // re-auth, broker sessions and infra enrolments survive.
+    infra
+        .story2_register_admin("dave")
+        .expect("admin onboarding");
+    let tailnet = infra.chaos_tailnet_storm("dave").expect("tailnet drill");
+    print_outcome(&tailnet);
+    failed |= !tailnet.passed();
+
+    // The campaign's error-budget ledger: per-dependency, per-window
+    // ok/err counters with burn rate — byte-stable for a given seed.
+    println!("\n== error-budget ledger (data-plane campaign) ==");
+    print!("{}", infra.resilience.budgets().export());
+    let m = infra.metrics();
+    let burned = m.budget_windows_exhausted >= 1;
+    println!(
+        "  [{}] the scheduler-outage storm spent at least one window's budget",
+        if burned { "PASS" } else { "FAIL" }
+    );
+    failed |= !burned;
+    println!(
+        "  faults_by_dependency={:?} retries_by_dependency={:?}",
+        m.faults_by_dependency, m.retries_by_dependency
+    );
+
+    // Trace-shape audit: no recorded flow may carry an sshca span
+    // without a preceding policy consultation (a PDP bypass).
+    let bypasses = infra.audit_trace_shapes();
+    println!(
+        "  [{}] trace-shape audit: {} pdp bypasses",
+        if bypasses.is_empty() { "PASS" } else { "FAIL" },
+        bypasses.len()
+    );
+    failed |= !bypasses.is_empty();
+
+    // SIEM feedback loop: a 150‰-flaky edge burns its 100‰ error budget
+    // during an E9-style storm; at the next window boundary the
+    // feedback pass tightens its breaker and retry budget.
+    let config = InfraConfig::builder()
+        .seed(9)
+        .jupyter_capacity(4096)
+        .interactive_nodes(4096)
+        .edge_threshold(usize::MAX / 2)
+        .build()
+        .unwrap();
+    let infra = Infrastructure::new(config);
+    let pop = build_population(&infra, 9, 4).expect("population");
+    let users: Vec<(String, String)> = pop
+        .projects
+        .iter()
+        .flat_map(|p| {
+            std::iter::once((p.pi_label.clone(), p.name.clone())).chain(
+                p.researcher_labels
+                    .iter()
+                    .map(|r| (r.clone(), p.name.clone())),
+            )
+        })
+        .collect();
+    let now = infra.clock.now_ms();
+    infra.install_fault_plan(FaultPlan::new(9).flaky("edge", 150, now, u64::MAX));
+    run_storm(&infra, &users, StormMode::Parallel(8));
+    infra.clock.advance(61_000);
+    let adjustments = infra.apply_siem_feedback();
+    println!("\n== siem feedback (flaky-edge storm) ==");
+    for a in &adjustments {
+        println!(
+            "  {:?}: {} window={} burn={}‰ anomalous={}",
+            a.action, a.dependency, a.window, a.burn_per_mille, a.anomalous
+        );
+    }
+    let tightened = adjustments
+        .iter()
+        .any(|a| a.dependency == "edge" && a.action == FeedbackAction::Tightened);
+    println!(
+        "  [{}] flaky edge tightened after burning its budget",
+        if tightened { "PASS" } else { "FAIL" }
+    );
+    failed |= !tightened;
 
     // Overhead guard: an installed-but-disarmed fault plane must be
     // within 2% of no plane at all on the E9-style storm (best of 7,

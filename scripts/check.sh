@@ -23,12 +23,15 @@ echo "== trace subsystem tests =="
 cargo test -q --offline -p dri-trace
 cargo test -q --offline -p isambard-dri --test trace_provenance
 
-echo "== resilience: fault plane + breaker determinism =="
+echo "== resilience: fault plane + breaker/budget determinism =="
 cargo test -q --offline -p dri-fault
 cargo test -q --offline -p isambard-dri --test failure_injection
 cargo test -q --offline -p isambard-dri --test chaos_determinism
 
-echo "== chaos day (drills, trace shape, fault-plane overhead guard) =="
+echo "== degraded modes: no dropped sessions, no stale allows =="
+cargo test -q --offline -p isambard-dri --test degraded_modes
+
+echo "== chaos day (drills incl. data plane, budget ledger, siem feedback, trace shape, overhead guard) =="
 cargo run --release --offline --example chaos_day
 
 echo "== verification cache: stale-allow regressions + cached/uncached equivalence =="
